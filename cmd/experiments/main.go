@@ -1,0 +1,143 @@
+// Command experiments regenerates the paper's evaluation: Tables 2–4 from
+// one shared set of base runs, Table 5's connectivity sweep, Figures 4 and
+// 5 as CSV time series, and Figure 6's scalability sweep.
+//
+// Usage:
+//
+//	experiments [-seeds N] [-outdir DIR] [-tables] [-table5] [-fig45] [-fig6]
+//
+// With no selection flags, everything runs. Tables go to stdout; figure
+// CSVs go to outdir (default "results").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"odbgc/internal/experiments"
+	"odbgc/internal/stats"
+)
+
+func main() {
+	var (
+		seeds  = flag.Int("seeds", 10, "seeded runs per configuration (the paper uses 10)")
+		outdir = flag.String("outdir", "results", "directory for figure CSV files")
+		tables = flag.Bool("tables", false, "run Tables 2-4 (base configuration)")
+		table5 = flag.Bool("table5", false, "run Table 5 (connectivity sweep)")
+		fig45  = flag.Bool("fig45", false, "run Figures 4 and 5 (time-varying behavior)")
+		fig6   = flag.Bool("fig6", false, "run Figure 6 (scalability sweep)")
+		sens   = flag.Bool("sensitivity", false, "run trigger and partition-size sensitivity sweeps (extension)")
+		abl    = flag.Bool("ablations", false, "run extension ablations at full scale (extension)")
+		quiet  = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	all := !*tables && !*table5 && !*fig45 && !*fig6 && !*sens && !*abl
+	progress := experiments.Progress(func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	})
+
+	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		fatal(err)
+	}
+
+	if all || *tables {
+		run, err := experiments.RunBase(*seeds, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(run.Table2())
+		fmt.Println(run.Table3())
+		fmt.Println(run.Table4())
+	}
+
+	if all || *table5 {
+		res, err := experiments.RunTable5(*seeds, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Table())
+	}
+
+	if all || *fig45 {
+		figs, err := experiments.RunFigures4And5(progress)
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeCSV(filepath.Join(*outdir, "figure4_unreclaimed_garbage.csv"), figs.Garbage); err != nil {
+			fatal(err)
+		}
+		if err := writeCSV(filepath.Join(*outdir, "figure5_database_size.csv"), figs.DBSize); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Figure 4 series -> %s (%d samples per policy)\n",
+			filepath.Join(*outdir, "figure4_unreclaimed_garbage.csv"), figs.Garbage.Len())
+		fmt.Printf("Figure 5 series -> %s (%d samples per policy)\n\n",
+			filepath.Join(*outdir, "figure5_database_size.csv"), figs.DBSize.Len())
+		fmt.Println(endpointTable(figs))
+	}
+
+	if all || *fig6 {
+		res, err := experiments.RunFigure6(*seeds, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Table())
+		if err := writeCSV(filepath.Join(*outdir, "figure6_storage_required.csv"), res.Series()); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Figure 6 series -> %s\n", filepath.Join(*outdir, "figure6_storage_required.csv"))
+	}
+
+	if *sens { // extension sweeps run only on request
+		res, err := experiments.RunSensitivity(*seeds, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.TriggerTable())
+		fmt.Println(res.PartitionTable())
+	}
+
+	if *abl { // extension ablations run only on request
+		table, err := experiments.RunAblations(*seeds, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(table)
+	}
+}
+
+// endpointTable summarizes the figure series' final samples so the
+// time-varying result is legible without plotting.
+func endpointTable(figs *experiments.Figures45) *stats.Table {
+	t := stats.NewTable("Figures 4 & 5 endpoints (final sample)",
+		"Policy", "Unreclaimed Garbage KB", "Database Size KB")
+	n := figs.Garbage.Len() - 1
+	for i, policy := range figs.Policies {
+		t.AddRow(policy,
+			fmt.Sprintf("%.0f", figs.Garbage.Y[i][n]),
+			fmt.Sprintf("%.0f", figs.DBSize.Y[i][n]))
+	}
+	return t
+}
+
+func writeCSV(path string, s *stats.Series) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := s.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,207 @@
+// Command gcsim runs one partitioned-GC simulation and prints the result.
+//
+// Usage:
+//
+//	gcsim [-policy NAME] [-seeds N] [-live BYTES] [-alloc BYTES]
+//	      [-partition-pages N] [-buffer-pages N] [-trigger N]
+//	      [-dense F] [-trees N] [-series FILE]
+//
+// With -seeds > 1 it reports mean ± stddev over seeded runs; with -series
+// it additionally writes the single-run time series as CSV.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"odbgc/internal/core"
+	"odbgc/internal/sim"
+	"odbgc/internal/stats"
+	"odbgc/internal/workload"
+)
+
+func main() {
+	var (
+		policy    = flag.String("policy", core.NameUpdatedPointer, `selection policy ("all" compares the paper's six): `+strings.Join(core.Names(), ", "))
+		seeds     = flag.Int("seeds", 1, "number of seeded runs")
+		live      = flag.Int64("live", 0, "live-data setpoint in bytes (0 = paper default)")
+		alloc     = flag.Int64("alloc", 0, "total allocation target in bytes (0 = paper default)")
+		partPages = flag.Int("partition-pages", 0, "8 KB pages per partition (0 = paper default 48)")
+		bufPages  = flag.Int("buffer-pages", 0, "buffer pages (0 = one partition)")
+		trigger   = flag.Int64("trigger", 0, "pointer overwrites per collection (0 = default 280)")
+		dense     = flag.Float64("dense", -1, "dense edge fraction (connectivity-1); negative = default")
+		trees     = flag.Int("trees", 0, "mean nodes per tree (0 = default)")
+		series    = flag.String("series", "", "write single-run time series CSV to this file")
+		inspect   = flag.Bool("inspect", false, "print per-partition occupancy at end of a single run")
+		warm      = flag.Bool("warm", false, "warm start: exclude the build phase from measurement")
+	)
+	flag.Parse()
+
+	wl := workload.DefaultConfig()
+	if *live > 0 {
+		wl.TargetLiveBytes = *live
+	}
+	if *alloc > 0 {
+		wl.TotalAllocBytes = *alloc
+	}
+	if *dense >= 0 {
+		wl.DenseEdgeFraction = *dense
+	}
+	if *trees > 0 {
+		wl.MeanTreeNodes = *trees
+	}
+
+	if *policy == "all" {
+		compareAll(wl, *seeds, *partPages, *bufPages, *trigger)
+		return
+	}
+
+	cfg := sim.DefaultConfig(*policy)
+	if *partPages > 0 {
+		cfg.Heap.PartitionPages = *partPages
+	}
+	if *bufPages > 0 {
+		cfg.BufferPages = *bufPages
+	}
+	if *trigger > 0 {
+		cfg.TriggerOverwrites = *trigger
+	}
+	if *series != "" {
+		cfg.SampleEvery = 10_000
+	}
+	cfg.WarmStart = *warm
+
+	if *seeds <= 1 {
+		s, err := sim.New(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		g, err := workload.New(wl)
+		if err != nil {
+			fatal(err)
+		}
+		wlStats, err := g.Run(s)
+		if err != nil {
+			fatal(err)
+		}
+		if *inspect {
+			printPartitions(s.InspectPartitions())
+		}
+		res := s.Finish()
+		printResult(res, wlStats)
+		if *series != "" {
+			f, err := os.Create(*series)
+			if err != nil {
+				fatal(err)
+			}
+			if err := res.Series.WriteCSV(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Println("series ->", *series)
+		}
+		return
+	}
+
+	results, err := sim.RunSeeds(cfg, wl, *seeds)
+	if err != nil {
+		fatal(err)
+	}
+	agg := sim.Aggregates(results)
+	t := stats.NewTable(fmt.Sprintf("%s over %d seeds", agg.Policy, agg.N), "Metric", "Mean", "Std Dev")
+	t.AddRow("Application I/Os", f0(agg.AppIOs.Mean), f0(agg.AppIOs.StdDev))
+	t.AddRow("Collector I/Os", f0(agg.GCIOs.Mean), f0(agg.GCIOs.StdDev))
+	t.AddRow("Total I/Os", f0(agg.TotalIOs.Mean), f0(agg.TotalIOs.StdDev))
+	t.AddRow("Max storage (KB)", f0(agg.MaxOccupiedKB.Mean), f0(agg.MaxOccupiedKB.StdDev))
+	t.AddRow("Partitions", f1(agg.NumPartitions.Mean), f1(agg.NumPartitions.StdDev))
+	t.AddRow("Collections", f1(agg.Collections.Mean), f1(agg.Collections.StdDev))
+	t.AddRow("Reclaimed (KB)", f0(agg.ReclaimedKB.Mean), f0(agg.ReclaimedKB.StdDev))
+	t.AddRow("Fraction reclaimed (%)", f1(agg.FractionReclaimed.Mean), f1(agg.FractionReclaimed.StdDev))
+	t.AddRow("Efficiency (KB/IO)", f2(agg.EfficiencyKBPerIO.Mean), f2(agg.EfficiencyKBPerIO.StdDev))
+	fmt.Println(t)
+}
+
+// compareAll runs every paper policy on the identical workload and
+// renders one comparison row per policy.
+func compareAll(wl workload.Config, seeds, partPages, bufPages int, trigger int64) {
+	if seeds < 1 {
+		seeds = 1
+	}
+	t := stats.NewTable(fmt.Sprintf("Policy comparison over %d seed(s)", seeds),
+		"Policy", "Total I/Os", "Max KB", "Reclaimed KB", "Fraction %", "KB/IO")
+	for _, policy := range core.PaperNames() {
+		cfg := sim.DefaultConfig(policy)
+		if partPages > 0 {
+			cfg.Heap.PartitionPages = partPages
+		}
+		if bufPages > 0 {
+			cfg.BufferPages = bufPages
+		}
+		if trigger > 0 {
+			cfg.TriggerOverwrites = trigger
+		}
+		results, err := sim.RunSeeds(cfg, wl, seeds)
+		if err != nil {
+			fatal(err)
+		}
+		agg := sim.Aggregates(results)
+		t.AddRow(policy,
+			f0(agg.TotalIOs.Mean),
+			f0(agg.MaxOccupiedKB.Mean),
+			f0(agg.ReclaimedKB.Mean),
+			f1(agg.FractionReclaimed.Mean),
+			f2(agg.EfficiencyKBPerIO.Mean))
+	}
+	fmt.Println(t)
+}
+
+func printPartitions(parts []sim.PartitionInfo) {
+	t := stats.NewTable("Final partition occupancy",
+		"Partition", "Used KB", "Live KB", "Garbage KB", "Objects", "Remset", "")
+	for _, p := range parts {
+		mark := ""
+		if p.Empty {
+			mark = "(empty)"
+		}
+		t.AddRow(fmt.Sprint(p.ID),
+			fmt.Sprint(p.UsedBytes/1024),
+			fmt.Sprint(p.LiveBytes/1024),
+			fmt.Sprint(p.GarbageBytes/1024),
+			fmt.Sprint(p.Objects),
+			fmt.Sprint(p.RemsetEntries),
+			mark)
+	}
+	fmt.Println(t)
+}
+
+func printResult(res sim.Result, wlStats workload.Stats) {
+	t := stats.NewTable("Simulation result: "+res.Policy, "Metric", "Value")
+	t.AddRow("Application events", fmt.Sprint(res.Events))
+	t.AddRow("Edge read/write ratio", f1(wlStats.EdgeReadWriteRatio))
+	t.AddRow("Application I/Os", fmt.Sprint(res.AppIOs))
+	t.AddRow("Collector I/Os", fmt.Sprint(res.GCIOs))
+	t.AddRow("Total I/Os", fmt.Sprint(res.TotalIOs))
+	t.AddRow("Collections", fmt.Sprint(res.Collections))
+	t.AddRow("Max storage (KB)", fmt.Sprint(res.MaxOccupiedBytes/1024))
+	t.AddRow("Partitions", fmt.Sprint(res.NumPartitions))
+	t.AddRow("Reclaimed (KB)", fmt.Sprint(res.ReclaimedBytes/1024))
+	t.AddRow("Actual garbage (KB)", fmt.Sprint(res.ActualGarbageBytes/1024))
+	t.AddRow("Fraction reclaimed (%)", f1(100*res.FractionReclaimed()))
+	t.AddRow("Efficiency (KB/IO)", f2(res.EfficiencyKBPerIO()))
+	_, _, disk := sim.DefaultDiskModel().EstimateResult(res)
+	t.AddRow("Est. disk time (1993 disk)", disk.Round(10*1e6).String())
+	fmt.Println(t)
+}
+
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gcsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,94 @@
+// Command tracegen generates a synthetic application trace file that
+// cmd/gcsim-style simulations can replay, so every policy can be evaluated
+// against the identical event stream.
+//
+// Usage:
+//
+//	tracegen -o trace.bin [-seed N] [-live BYTES] [-alloc BYTES] [-dense F] [-trees N]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"odbgc/internal/trace"
+	"odbgc/internal/workload"
+)
+
+func main() {
+	var (
+		out    = flag.String("o", "", "output trace file (required)")
+		format = flag.String("format", "binary", "trace format: binary or jsonl")
+		seed   = flag.Int64("seed", 1, "workload seed")
+		live   = flag.Int64("live", 0, "live-data setpoint in bytes (0 = default)")
+		alloc  = flag.Int64("alloc", 0, "total allocation target in bytes (0 = default)")
+		dense  = flag.Float64("dense", -1, "dense edge fraction; negative = default")
+		trees  = flag.Int("trees", 0, "mean nodes per tree (0 = default)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fatal(fmt.Errorf("-o is required"))
+	}
+
+	cfg := workload.DefaultConfig()
+	cfg.Seed = *seed
+	if *live > 0 {
+		cfg.TargetLiveBytes = *live
+	}
+	if *alloc > 0 {
+		cfg.TotalAllocBytes = *alloc
+	}
+	if *dense >= 0 {
+		cfg.DenseEdgeFraction = *dense
+	}
+	if *trees > 0 {
+		cfg.MeanTreeNodes = *trees
+	}
+
+	g, err := workload.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	bw := bufio.NewWriter(f)
+	var (
+		sink  trace.Sink
+		flush func() error
+	)
+	switch *format {
+	case "binary":
+		w := trace.NewWriter(bw)
+		sink, flush = w, w.Flush
+	case "jsonl":
+		w := trace.NewJSONLWriter(bw)
+		sink, flush = w, w.Flush
+	default:
+		fatal(fmt.Errorf("unknown format %q (binary or jsonl)", *format))
+	}
+	st, err := g.Run(sink)
+	if err != nil {
+		fatal(err)
+	}
+	if err := flush(); err != nil {
+		fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d events (%d creates, %d reads, %d writes, %d modifies), %d deletions, %.1f MB allocated, r/w ratio %.1f\n",
+		*out, st.Events, st.Creates, st.Reads, st.Writes, st.Modifies,
+		st.Deletions, float64(st.AllocatedBytes)/(1<<20), st.EdgeReadWriteRatio)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,169 @@
+// Command traceinfo inspects a trace file produced by tracegen — binary
+// or JSON Lines, detected automatically: event counts by kind, allocation
+// volume, object-size distribution, and the edge read/write ratio.
+// Optionally it replays the trace through one simulation.
+//
+// Usage:
+//
+//	traceinfo [-replay POLICY] trace.bin
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"odbgc/internal/heap"
+	"odbgc/internal/sim"
+	"odbgc/internal/stats"
+	"odbgc/internal/trace"
+)
+
+func main() {
+	replay := flag.String("replay", "", "also replay the trace under this selection policy")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fatal(errors.New("usage: traceinfo [-replay POLICY] trace.bin"))
+	}
+	path := flag.Arg(0)
+
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	r, format, err := openTrace(f)
+	if err != nil {
+		fatal(err)
+	}
+	var (
+		counts      = map[trace.Kind]int64{}
+		allocBytes  int64
+		minSize     = int64(1 << 62)
+		maxSize     int64
+		overwrites  int64
+		fields      = map[heap.OID]int{}
+		valueByLoc  = map[[2]int64]heap.OID{} // (oid, field) -> last value
+		largeCount  int64
+		largeCutoff = int64(4096)
+	)
+	for {
+		e, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			fatal(err)
+		}
+		counts[e.Kind]++
+		switch e.Kind {
+		case trace.KindCreate:
+			allocBytes += e.Size
+			if e.Size < minSize {
+				minSize = e.Size
+			}
+			if e.Size > maxSize {
+				maxSize = e.Size
+			}
+			if e.Size >= largeCutoff {
+				largeCount++
+			}
+			fields[e.OID] = e.NFields
+			if e.Parent != heap.NilOID {
+				valueByLoc[[2]int64{int64(e.Parent), int64(e.ParentField)}] = e.OID
+			}
+		case trace.KindWrite:
+			loc := [2]int64{int64(e.OID), int64(e.Field)}
+			if valueByLoc[loc] != heap.NilOID {
+				overwrites++
+			}
+			valueByLoc[loc] = e.Target
+		}
+	}
+
+	t := stats.NewTable("Trace: "+path+" ("+format+")", "Metric", "Value")
+	t.AddRow("Events", fmt.Sprint(r.Count()))
+	t.AddRow("Creates", fmt.Sprint(counts[trace.KindCreate]))
+	t.AddRow("Roots", fmt.Sprint(counts[trace.KindRoot]))
+	t.AddRow("Reads", fmt.Sprint(counts[trace.KindRead]))
+	t.AddRow("Writes", fmt.Sprint(counts[trace.KindWrite]))
+	t.AddRow("Modifies", fmt.Sprint(counts[trace.KindModify]))
+	t.AddRow("Pointer overwrites", fmt.Sprint(overwrites))
+	t.AddRow("Allocated bytes", fmt.Sprint(allocBytes))
+	t.AddRow("Object size range", fmt.Sprintf("%d-%d", minSize, maxSize))
+	t.AddRow(fmt.Sprintf("Objects >= %d B", largeCutoff), fmt.Sprint(largeCount))
+	if w := counts[trace.KindWrite] + counts[trace.KindCreate]; w > 0 {
+		t.AddRow("Read/write ratio", fmt.Sprintf("%.1f", float64(counts[trace.KindRead])/float64(w)))
+	}
+	fmt.Println(t)
+
+	if *replay != "" {
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			fatal(err)
+		}
+		r2, _, err := openTrace(f)
+		if err != nil {
+			fatal(err)
+		}
+		s, err := sim.New(sim.DefaultConfig(*replay))
+		if err != nil {
+			fatal(err)
+		}
+		if err := copyEvents(s, r2); err != nil {
+			fatal(err)
+		}
+		res := s.Finish()
+		rt := stats.NewTable("Replay under "+res.Policy, "Metric", "Value")
+		rt.AddRow("Total I/Os", fmt.Sprint(res.TotalIOs))
+		rt.AddRow("Collections", fmt.Sprint(res.Collections))
+		rt.AddRow("Reclaimed KB", fmt.Sprint(res.ReclaimedBytes/1024))
+		rt.AddRow("Fraction reclaimed %", fmt.Sprintf("%.1f", 100*res.FractionReclaimed()))
+		rt.AddRow("Max storage KB", fmt.Sprint(res.MaxOccupiedBytes/1024))
+		fmt.Println(rt)
+	}
+}
+
+// eventSource unifies the binary and JSONL readers.
+type eventSource interface {
+	Next() (trace.Event, error)
+	Count() int64
+}
+
+// openTrace sniffs the format from the file's first byte: binary traces
+// start with the magic ("odbgctr"), JSONL traces with '{'.
+func openTrace(f *os.File) (eventSource, string, error) {
+	br := bufio.NewReader(f)
+	first, err := br.Peek(1)
+	if err != nil {
+		return nil, "", fmt.Errorf("empty or unreadable trace: %w", err)
+	}
+	if first[0] == '{' {
+		return trace.NewJSONLReader(br), "jsonl", nil
+	}
+	return trace.NewReader(br), "binary", nil
+}
+
+// copyEvents streams every event from src into sink.
+func copyEvents(sink trace.Sink, src eventSource) error {
+	for {
+		e, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := sink.Emit(e); err != nil {
+			return err
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "traceinfo:", err)
+	os.Exit(1)
+}

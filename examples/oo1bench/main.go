@@ -1,0 +1,51 @@
+// OO1 transfer study: does the paper's result — overwritten pointers are
+// the best implementable hint for partition selection — hold on a
+// differently shaped database? This example runs every paper policy over
+// an OO1-style parts database (20k small parts, 3 connections each with
+// 90% ID locality, index-based access, churn by part delete/insert) and
+// prints the comparison.
+//
+// The outcome is itself instructive: on this workload garbage is single
+// parts scattered uniformly across the database, every partition has
+// about the same garbage density, and ALL selection policies converge —
+// even Random trails the oracle by a point or two. Partition selection
+// pays off in proportion to how *clustered* garbage is, which is exactly
+// why the paper's tree workload (where a deletion kills a whole compact
+// subtree) differentiates the policies so sharply.
+//
+//	go run ./examples/oo1bench
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"odbgc"
+)
+
+func main() {
+	oo1 := odbgc.DefaultOO1Config()
+
+	fmt.Println("OO1-style parts database: 20k parts, 3 connections each (90%")
+	fmt.Println("locality), index access, churn by delete/insert pairs.")
+	fmt.Println()
+	fmt.Printf("%-18s %12s %14s %12s %10s\n",
+		"policy", "total I/Os", "reclaimed KB", "reclaimed %", "max KB")
+
+	for _, policy := range odbgc.PaperPolicies() {
+		res, _, err := odbgc.RunOO1(odbgc.DefaultSimConfig(policy), oo1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s %12d %14d %11.1f%% %10d\n",
+			policy, res.TotalIOs, res.ReclaimedBytes/1024,
+			100*res.FractionReclaimed(), res.MaxOccupiedBytes/1024)
+	}
+
+	fmt.Println()
+	fmt.Println("With garbage scattered uniformly (single parts, not subtrees), every")
+	fmt.Println("policy reclaims nearly everything and selection barely matters —")
+	fmt.Println("partition selection pays off in proportion to garbage clustering,")
+	fmt.Println("which is why the paper's tree workload differentiates policies and")
+	fmt.Println("this one does not.")
+}

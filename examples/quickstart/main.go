@@ -1,0 +1,40 @@
+// Quickstart: run the paper's base configuration under two selection
+// policies and compare what they reclaim and what they cost.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"odbgc"
+)
+
+func main() {
+	workload := odbgc.DefaultWorkloadConfig()
+
+	fmt.Println("Simulating a ~5 MB object database with ~11.5 MB of cumulative")
+	fmt.Println("allocation under two partition selection policies...")
+	fmt.Println()
+
+	for _, policy := range []string{odbgc.Random, odbgc.UpdatedPointer} {
+		res, wl, err := odbgc.Run(odbgc.DefaultSimConfig(policy), workload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", policy)
+		fmt.Printf("  application events     %d (edge read/write ratio %.1f)\n", res.Events, wl.EdgeReadWriteRatio)
+		fmt.Printf("  page I/Os              %d app + %d collector = %d total\n", res.AppIOs, res.GCIOs, res.TotalIOs)
+		fmt.Printf("  collections            %d (every %d pointer overwrites)\n", res.Collections, odbgc.DefaultSimConfig(policy).TriggerOverwrites)
+		fmt.Printf("  garbage reclaimed      %d of %d KB (%.1f%%)\n",
+			res.ReclaimedBytes/1024, res.ActualGarbageBytes/1024, 100*res.FractionReclaimed())
+		fmt.Printf("  max storage            %d KB in %d partitions\n", res.MaxOccupiedBytes/1024, res.NumPartitions)
+		fmt.Printf("  collector efficiency   %.2f KB reclaimed per I/O\n", res.EfficiencyKBPerIO())
+		fmt.Println()
+	}
+
+	fmt.Println("UpdatedPointer — the paper's contribution — finds partitions with")
+	fmt.Println("more garbage by watching which partitions overwritten pointers")
+	fmt.Println("pointed into, so it reclaims more per unit of collector I/O.")
+}

@@ -1,0 +1,3 @@
+module odbgc
+
+go 1.22

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"odbgc/internal/heap"
+)
+
+func TestCounterPolicyIgnoresNoPartition(t *testing.T) {
+	u := NewUpdatedPointer()
+	// An overwrite whose old target was already discarded reports
+	// NoPartition; it must not corrupt the accumulator.
+	u.PointerStore(StoreContext{Src: 1, Old: 2, OldPart: heap.NoPartition})
+	if got := u.Score(heap.NoPartition); got != 0 {
+		t.Fatalf("NoPartition accumulated %v", got)
+	}
+}
+
+func TestScoreReflectsBumps(t *testing.T) {
+	u := NewUpdatedPointer()
+	for i := 0; i < 3; i++ {
+		u.PointerStore(StoreContext{Src: 1, Old: 2, OldPart: 5})
+	}
+	if got := u.Score(5); got != 3 {
+		t.Fatalf("Score(5) = %v, want 3", got)
+	}
+	if got := u.Score(6); got != 0 {
+		t.Fatalf("Score(6) = %v, want 0", got)
+	}
+}
+
+func TestWeightedScoreAccumulatesExponentially(t *testing.T) {
+	w := NewWeightedPointer()
+	w.PointerStore(StoreContext{Src: 1, Old: 2, OldPart: 3, OldWeight: 2})
+	w.PointerStore(StoreContext{Src: 1, Old: 4, OldPart: 3, OldWeight: 16})
+	want := ExponentialWeight(2) + ExponentialWeight(16)
+	if got := w.Score(3); got != want {
+		t.Fatalf("Score = %v, want %v", got, want)
+	}
+}
+
+// TestExponentialWeightProperties: strictly decreasing in w over the
+// valid range, halving per step, always ≥ 1.
+func TestExponentialWeightProperties(t *testing.T) {
+	f := func(raw uint8) bool {
+		w := raw%heap.MaxWeight + 1 // 1..16
+		v := ExponentialWeight(w)
+		if v < 1 {
+			return false
+		}
+		if w < heap.MaxWeight {
+			next := ExponentialWeight(w + 1)
+			if math.Abs(v/next-2) > 1e-9 {
+				t.Errorf("ExponentialWeight(%d)=%v not double of (%d)=%v", w, v, w+1, next)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectSkipsEmptyReservedEvenWithHighestScore(t *testing.T) {
+	env, oids := testEnv(t, 2)
+	u := NewUpdatedPointer()
+	// Accumulate a huge score on the reserved empty partition (possible
+	// transiently if a collection rotated the empty partition after the
+	// counts accrued).
+	empty := env.Heap.EmptyPartition()
+	for i := 0; i < 100; i++ {
+		u.PointerStore(StoreContext{Src: oids[0], Old: oids[1], OldPart: empty})
+	}
+	got, ok := u.Select(env)
+	if !ok {
+		t.Fatal("Select declined")
+	}
+	if got == empty {
+		t.Fatal("selected the reserved empty partition despite candidate filter")
+	}
+}
+
+func TestCollectedOnlyClearsVictim(t *testing.T) {
+	u := NewUpdatedPointer()
+	u.PointerStore(StoreContext{Src: 1, Old: 2, OldPart: 3})
+	u.PointerStore(StoreContext{Src: 1, Old: 2, OldPart: 4})
+	u.Collected(3, 9)
+	if u.Score(3) != 0 {
+		t.Fatal("victim score not cleared")
+	}
+	if u.Score(4) != 1 {
+		t.Fatal("bystander score cleared")
+	}
+}
+
+func TestYNYScoresDataAndPointerEqually(t *testing.T) {
+	m := NewMutatedObjectYNY()
+	m.PointerStore(StoreContext{Src: 1, SrcPart: 2})
+	m.DataStore(2)
+	if got := m.Score(2); got != 2 {
+		t.Fatalf("Score = %v, want 2", got)
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import "odbgc/internal/heap"
+
+// Weight maintenance for the WeightedPointer policy (Section 3.1): every
+// object carries 4 bits of weight, defined as one plus the minimum weight
+// of the objects pointing to it, capped at MaxWeight. Objects pointed to
+// directly by the root set have weight 1. Weights only decrease (a new
+// lower-weight edge propagates transitively); edge deletion does not raise
+// them — the weight is a heuristic distance, not an exact one.
+//
+// Like the paper, weight maintenance is metadata bookkeeping piggybacked
+// on stores the application performs anyway; it contributes no page I/O in
+// the simulation's cost model. The simulator maintains weights under every
+// policy so that runs differ only in partition selection.
+
+// PropagateStore updates weights after the pointer store src→target: if
+// reaching target through src gives it a smaller weight, the improvement is
+// applied and propagated breadth-first through target's out-edges.
+func PropagateStore(h *heap.Heap, src, target heap.OID) {
+	if target == heap.NilOID {
+		return
+	}
+	srcObj := h.Get(src)
+	tgtObj := h.Get(target)
+	if srcObj == nil || tgtObj == nil {
+		return
+	}
+	w := srcObj.Weight
+	if w >= heap.MaxWeight {
+		return // cannot improve anything below the cap
+	}
+	relax(h, tgtObj, w+1)
+}
+
+// PropagateRoot gives a newly rooted object weight 1 and propagates.
+func PropagateRoot(h *heap.Heap, oid heap.OID) {
+	if obj := h.Get(oid); obj != nil {
+		relax(h, obj, 1)
+	}
+}
+
+// relax lowers obj's weight to at most w and propagates the improvement.
+func relax(h *heap.Heap, obj *heap.Object, w uint8) {
+	if w >= obj.Weight {
+		return
+	}
+	obj.Weight = w
+	queue := []*heap.Object{obj}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		next := cur.Weight + 1
+		if next > heap.MaxWeight {
+			continue
+		}
+		for _, f := range cur.Fields {
+			if f == heap.NilOID {
+				continue
+			}
+			child := h.Get(f)
+			if child == nil || child.Weight <= next {
+				continue
+			}
+			child.Weight = next
+			queue = append(queue, child)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"odbgc/internal/core"
+	"odbgc/internal/sim"
+	"odbgc/internal/stats"
+)
+
+// RunAblations executes the extension ablations at full base-workload
+// scale (the scaled-down versions live in the root benchmarks): the YNY
+// enhancement, periodic global sweeps, multi-partition collection, and
+// the allocation trigger. Each row reports reclamation and total I/O so
+// the trade-off is visible.
+func RunAblations(seeds int, progress Progress) (*stats.Table, error) {
+	t := stats.NewTable("Ablations (base workload, means over seeds)",
+		"Variant", "Total I/Os", "Reclaimed KB", "Fraction %", "Collections")
+	wl := BaseWorkload()
+
+	add := func(name string, cfg sim.Config) error {
+		progress.logf("ablation: %s", name)
+		results, err := sim.RunSeeds(cfg, wl, seeds)
+		if err != nil {
+			return fmt.Errorf("experiments: ablation %s: %w", name, err)
+		}
+		agg := sim.Aggregates(results)
+		t.AddRow(name,
+			fmt.Sprintf("%.0f", agg.TotalIOs.Mean),
+			fmt.Sprintf("%.0f", agg.ReclaimedKB.Mean),
+			fmt.Sprintf("%.1f", agg.FractionReclaimed.Mean),
+			fmt.Sprintf("%.1f", agg.Collections.Mean))
+		return nil
+	}
+
+	// The paper's enhanced policy vs the unenhanced YNY original.
+	if err := add("MutatedPartition (pointer stores only)", BaseSim(core.NameMutatedPartition)); err != nil {
+		return nil, err
+	}
+	if err := add("MutatedObjectYNY (all mutations)", BaseSim(core.NameMutatedObjectYNY)); err != nil {
+		return nil, err
+	}
+
+	// UpdatedPointer baseline and its extension variants.
+	if err := add("UpdatedPointer", BaseSim(core.NameUpdatedPointer)); err != nil {
+		return nil, err
+	}
+	sweep := BaseSim(core.NameUpdatedPointer)
+	sweep.GlobalSweepEvery = 10
+	if err := add("UpdatedPointer + global sweep every 10", sweep); err != nil {
+		return nil, err
+	}
+	multi := BaseSim(core.NameUpdatedPointer)
+	multi.CollectPartitions = 2
+	if err := add("UpdatedPointer, top-2 partitions", multi); err != nil {
+		return nil, err
+	}
+	alloc := BaseSim(core.NameUpdatedPointer)
+	alloc.TriggerOverwrites = 0
+	// Match the overwrite trigger's collection cadence: the base workload
+	// allocates ~11.5 MB over ~30 collections.
+	alloc.TriggerAllocationBytes = 380_000
+	if err := add("UpdatedPointer, allocation trigger", alloc); err != nil {
+		return nil, err
+	}
+	cs := BaseSim(core.NameUpdatedPointer)
+	cs.ClientCachePages = 16
+	if err := add("UpdatedPointer, client/server (16-page cache)", cs); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

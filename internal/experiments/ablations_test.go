@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAblationsScaled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale ablations are slow")
+	}
+	table, err := RunAblations(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := table.String()
+	for _, want := range []string{
+		"MutatedPartition (pointer stores only)",
+		"MutatedObjectYNY (all mutations)",
+		"UpdatedPointer + global sweep every 10",
+		"UpdatedPointer, top-2 partitions",
+		"UpdatedPointer, allocation trigger",
+		"UpdatedPointer, client/server (16-page cache)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation table missing row %q:\n%s", want, out)
+		}
+	}
+}

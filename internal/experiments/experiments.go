@@ -1,0 +1,138 @@
+// Package experiments reproduces the paper's evaluation: Tables 2–4 (one
+// shared set of base runs), Table 5 (connectivity sweep), Figures 4 and 5
+// (time-varying behavior of one larger run), and Figure 6 (scalability
+// sweep from 4 to 40 MB). Each experiment renders the same rows or series
+// the paper reports; EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+
+	"odbgc/internal/core"
+	"odbgc/internal/sim"
+	"odbgc/internal/stats"
+	"odbgc/internal/workload"
+)
+
+// Progress receives human-readable progress lines; nil disables them.
+type Progress func(format string, args ...any)
+
+func (p Progress) logf(format string, args ...any) {
+	if p != nil {
+		p(format, args...)
+	}
+}
+
+// BaseWorkload returns the workload of Tables 2–4: ≈5 MB live, ≈11.5 MB
+// allocated, connectivity ≈ 1.083.
+func BaseWorkload() workload.Config { return workload.DefaultConfig() }
+
+// BaseSim returns the simulator config of Tables 2–4 for one policy:
+// 48-page partitions and buffer, collection every 200 overwrites.
+func BaseSim(policy string) sim.Config { return sim.DefaultConfig(policy) }
+
+// BaseRun holds the per-seed results of the base configuration for every
+// paper policy, aligned so Results[p][i] used the same workload seed for
+// every p.
+type BaseRun struct {
+	Seeds    int
+	Policies []string
+	Results  map[string][]sim.Result
+}
+
+// RunBase executes the base configuration for all six paper policies over
+// the given number of seeds (the paper uses 10).
+func RunBase(seeds int, progress Progress) (*BaseRun, error) {
+	return runPolicies(BaseWorkload(), BaseSim, seeds, progress)
+}
+
+func runPolicies(wl workload.Config, mkSim func(string) sim.Config, seeds int, progress Progress) (*BaseRun, error) {
+	run := &BaseRun{
+		Seeds:    seeds,
+		Policies: core.PaperNames(),
+		Results:  make(map[string][]sim.Result, len(core.PaperNames())),
+	}
+	for _, policy := range run.Policies {
+		progress.logf("running %s × %d seeds", policy, seeds)
+		results, err := sim.RunSeeds(mkSim(policy), wl, seeds)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", policy, err)
+		}
+		run.Results[policy] = results
+	}
+	return run, nil
+}
+
+// relative computes per-seed ratios of metric(policy) over
+// metric(MostGarbage), pairing runs by seed the way the paper's small
+// "Relative" standard deviations imply.
+func (b *BaseRun) relative(policy string, metric func(sim.Result) float64) stats.Summary {
+	base := b.Results[core.NameMostGarbage]
+	rows := b.Results[policy]
+	ratios := make([]float64, 0, len(rows))
+	for i := range rows {
+		if m := metric(base[i]); m != 0 {
+			ratios = append(ratios, metric(rows[i])/m)
+		}
+	}
+	return stats.Summarize(ratios)
+}
+
+// Table2 renders throughput as page I/O operations (paper Table 2).
+func (b *BaseRun) Table2() *stats.Table {
+	t := stats.NewTable(
+		"Table 2: Throughput as Number of Page I/O Operations (Relative is MostGarbage=1)",
+		"Selection Policy", "App I/Os", "±", "Collector I/Os", "±", "Total I/Os", "Relative", "±")
+	for _, policy := range b.Policies {
+		agg := sim.Aggregates(b.Results[policy])
+		rel := b.relative(policy, func(r sim.Result) float64 { return float64(r.TotalIOs) })
+		t.AddRow(policy,
+			fmt.Sprintf("%.0f", agg.AppIOs.Mean), fmt.Sprintf("%.0f", agg.AppIOs.StdDev),
+			fmt.Sprintf("%.0f", agg.GCIOs.Mean), fmt.Sprintf("%.0f", agg.GCIOs.StdDev),
+			fmt.Sprintf("%.0f", agg.TotalIOs.Mean),
+			fmt.Sprintf("%.3f", rel.Mean), fmt.Sprintf("%.3f", rel.StdDev))
+	}
+	return t
+}
+
+// Table3 renders maximum storage usage (paper Table 3).
+func (b *BaseRun) Table3() *stats.Table {
+	t := stats.NewTable(
+		"Table 3: Maximum Storage Space Usage (Relative is MostGarbage=1)",
+		"Selection Policy", "Max Storage KB", "±", "Relative", "# Partitions", "±")
+	for _, policy := range b.Policies {
+		agg := sim.Aggregates(b.Results[policy])
+		rel := b.relative(policy, func(r sim.Result) float64 { return float64(r.MaxOccupiedBytes) })
+		t.AddRow(policy,
+			fmt.Sprintf("%.0f", agg.MaxOccupiedKB.Mean), fmt.Sprintf("%.0f", agg.MaxOccupiedKB.StdDev),
+			fmt.Sprintf("%.3f", rel.Mean),
+			fmt.Sprintf("%.1f", agg.NumPartitions.Mean), fmt.Sprintf("%.2f", agg.NumPartitions.StdDev))
+	}
+	return t
+}
+
+// Table4 renders collector effectiveness and efficiency (paper Table 4),
+// including the paper's "Actual Garbage" reference row.
+func (b *BaseRun) Table4() *stats.Table {
+	t := stats.NewTable(
+		"Table 4: Collector Effectiveness and Efficiency (Relative is MostGarbage=1)",
+		"Selection Policy", "Reclaimed KB", "±", "Fraction %", "±", "KB per I/O", "Rel Efficiency")
+	baseEff := sim.Aggregates(b.Results[core.NameMostGarbage]).EfficiencyKBPerIO.Mean
+	for _, policy := range b.Policies {
+		agg := sim.Aggregates(b.Results[policy])
+		relEff := 0.0
+		if baseEff != 0 {
+			relEff = agg.EfficiencyKBPerIO.Mean / baseEff
+		}
+		t.AddRow(policy,
+			fmt.Sprintf("%.0f", agg.ReclaimedKB.Mean), fmt.Sprintf("%.0f", agg.ReclaimedKB.StdDev),
+			fmt.Sprintf("%.2f", agg.FractionReclaimed.Mean), fmt.Sprintf("%.2f", agg.FractionReclaimed.StdDev),
+			fmt.Sprintf("%.2f", agg.EfficiencyKBPerIO.Mean),
+			fmt.Sprintf("%.2f", relEff))
+	}
+	garbage := sim.Aggregates(b.Results[core.NameMostGarbage]).ActualGarbageKB
+	t.AddRow("Actual Garbage",
+		fmt.Sprintf("%.0f", garbage.Mean), fmt.Sprintf("%.0f", garbage.StdDev),
+		"100.00", "", "", "")
+	return t
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"odbgc/internal/core"
+	"odbgc/internal/sim"
+	"odbgc/internal/workload"
+)
+
+// scaledBase shrinks the base experiment so the harness logic can be
+// tested quickly.
+func scaledBase() (workload.Config, func(string) sim.Config) {
+	wl := BaseWorkload()
+	wl.TargetLiveBytes = 200_000
+	wl.TotalAllocBytes = 600_000
+	wl.MinDeletions = 400
+	wl.MeanTreeNodes = 120
+	wl.LargeObjectSize = 8192
+	wl.LargeEvery = 300
+	mkSim := func(policy string) sim.Config {
+		cfg := BaseSim(policy)
+		cfg.Heap.PartitionPages = 6
+		cfg.TriggerOverwrites = 60
+		return cfg
+	}
+	return wl, mkSim
+}
+
+func TestRunPoliciesAndTables(t *testing.T) {
+	wl, mkSim := scaledBase()
+	run, err := runPolicies(wl, mkSim, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Seeds != 2 || len(run.Policies) != 6 {
+		t.Fatalf("run = %+v", run)
+	}
+	for _, policy := range run.Policies {
+		if len(run.Results[policy]) != 2 {
+			t.Fatalf("%s has %d results", policy, len(run.Results[policy]))
+		}
+	}
+
+	for name, table := range map[string]string{
+		"table2": run.Table2().String(),
+		"table3": run.Table3().String(),
+		"table4": run.Table4().String(),
+	} {
+		for _, policy := range run.Policies {
+			if !strings.Contains(table, policy) {
+				t.Errorf("%s missing row for %s:\n%s", name, policy, table)
+			}
+		}
+	}
+	if !strings.Contains(run.Table4().String(), "Actual Garbage") {
+		t.Error("table4 missing Actual Garbage row")
+	}
+}
+
+func TestRelativeIsPairedBySeed(t *testing.T) {
+	wl, mkSim := scaledBase()
+	run, err := runPolicies(wl, mkSim, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := run.relative(core.NameMostGarbage, func(r sim.Result) float64 { return float64(r.TotalIOs) })
+	if rel.Mean != 1 || rel.StdDev != 0 {
+		t.Fatalf("self-relative = %+v, want exactly 1 ± 0", rel)
+	}
+}
+
+func TestProgressLogf(t *testing.T) {
+	var lines []string
+	p := Progress(func(format string, args ...any) { lines = append(lines, format) })
+	p.logf("hello %d", 1)
+	if len(lines) != 1 {
+		t.Fatal("progress callback not invoked")
+	}
+	Progress(nil).logf("must not panic")
+}
+
+func TestTable5Scaled(t *testing.T) {
+	// Run only the harness path with a tiny sweep by temporarily scaling
+	// through the exported workloads: here we just exercise the real
+	// RunTable5 with 1 seed at two connectivities via a local copy.
+	res := &Table5Result{Connectivities: []float64{1.005, 1.167}}
+	wl, mkSim := scaledBase()
+	for _, c := range res.Connectivities {
+		w := wl
+		w.DenseEdgeFraction = c - 1
+		run, err := runPolicies(w, mkSim, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Runs = append(res.Runs, run)
+	}
+	table := res.Table().String()
+	if !strings.Contains(table, "C = 1.005") || !strings.Contains(table, "C = 1.167") {
+		t.Fatalf("table headers wrong:\n%s", table)
+	}
+	if !strings.Contains(table, core.NameUpdatedPointer) {
+		t.Fatalf("missing policy row:\n%s", table)
+	}
+}
+
+func TestFigure6Helpers(t *testing.T) {
+	for _, p := range Figure6Points {
+		wl := Figure6Workload(p)
+		if err := wl.Validate(); err != nil {
+			t.Errorf("%d MB workload invalid: %v", p.MaxAllocMB, err)
+		}
+		cfg := Figure6Sim(core.NameRandom, p)
+		if cfg.Heap.PartitionPages != p.PartitionPages {
+			t.Errorf("%d MB: partition pages %d", p.MaxAllocMB, cfg.Heap.PartitionPages)
+		}
+		if cfg.TriggerOverwrites < 150 || cfg.TriggerOverwrites > 800 {
+			t.Errorf("%d MB: trigger %d outside clamp", p.MaxAllocMB, cfg.TriggerOverwrites)
+		}
+	}
+}
+
+func TestFigure6ResultRendering(t *testing.T) {
+	res := &Figure6Result{
+		Points:   []Figure6Point{{4, 24}, {8, 32}},
+		Policies: []string{core.NameNoCollection, core.NameMostGarbage},
+		StorageMB: map[string][]float64{
+			core.NameNoCollection: {4.1, 8.2},
+			core.NameMostGarbage:  {2.5, 5.0},
+		},
+	}
+	table := res.Table().String()
+	if !strings.Contains(table, "4 MB") || !strings.Contains(table, "8.2") {
+		t.Fatalf("table:\n%s", table)
+	}
+	s := res.Series()
+	if s.Len() != 2 || len(s.Names) != 2 {
+		t.Fatalf("series = %+v", s)
+	}
+	if s.Y[1][0] != 2.5 {
+		t.Fatalf("series values wrong: %+v", s.Y)
+	}
+}
+
+func TestFiguresScaledEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure runs are slow")
+	}
+	// Substitute a scaled figure config by calling the underlying pieces:
+	// run two policies with sampling and assemble series the way
+	// RunFigures4And5 does, asserting grid alignment.
+	wl, mkSim := scaledBase()
+	var lens []int
+	for _, policy := range []string{core.NameNoCollection, core.NameMostGarbage} {
+		cfg := mkSim(policy)
+		cfg.SampleEvery = 5_000
+		res, _, err := sim.RunWorkload(cfg, wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Series.Len() == 0 {
+			t.Fatalf("%s: no samples", policy)
+		}
+		lens = append(lens, res.Series.Len())
+	}
+	if lens[0] != lens[1] {
+		t.Fatalf("sample grids diverge: %v (same trace must sample identically)", lens)
+	}
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"odbgc/internal/core"
+	"odbgc/internal/sim"
+	"odbgc/internal/workload"
+)
+
+func TestRunFigures45Scaled(t *testing.T) {
+	wl, mkSim := scaledBase()
+	figs, err := runFigures45(wl, func(policy string) sim.Config {
+		cfg := mkSim(policy)
+		cfg.SampleEvery = 5_000
+		return cfg
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if figs.Garbage.Len() == 0 || figs.DBSize.Len() != figs.Garbage.Len() {
+		t.Fatalf("series lengths: garbage %d, dbsize %d", figs.Garbage.Len(), figs.DBSize.Len())
+	}
+	if len(figs.Garbage.Names) != 6 {
+		t.Fatalf("columns = %v", figs.Garbage.Names)
+	}
+	// NoCollection's garbage column dominates every other policy at the
+	// final sample (nothing is ever reclaimed).
+	last := figs.Garbage.Len() - 1
+	noColl := figs.Garbage.Y[0][last] // PaperNames()[0] == NoCollection
+	if figs.Garbage.Names[0] != core.NameNoCollection {
+		t.Fatalf("column 0 = %s", figs.Garbage.Names[0])
+	}
+	for i, name := range figs.Garbage.Names[1:] {
+		if figs.Garbage.Y[i+1][last] > noColl {
+			t.Errorf("%s ended with more unreclaimed garbage (%f) than NoCollection (%f)",
+				name, figs.Garbage.Y[i+1][last], noColl)
+		}
+	}
+	// DB size = live + garbage, so it is always >= the garbage column.
+	for i := range figs.Garbage.Names {
+		for j := range figs.Garbage.X {
+			if figs.DBSize.Y[i][j] < figs.Garbage.Y[i][j] {
+				t.Fatalf("sample %d policy %d: size %f < garbage %f",
+					j, i, figs.DBSize.Y[i][j], figs.Garbage.Y[i][j])
+			}
+		}
+	}
+	// Sample grids are identical across policies (same trace).
+	csv := &strings.Builder{}
+	if err := figs.Garbage.WriteCSV(csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "events,"+core.NameNoCollection) {
+		t.Fatalf("csv header: %q", strings.SplitN(csv.String(), "\n", 2)[0])
+	}
+}
+
+func TestRunFigure6Scaled(t *testing.T) {
+	points := []Figure6Point{{1, 6}, {2, 12}}
+	mkWL := func(p Figure6Point) workload.Config {
+		wl := workload.DefaultConfig()
+		wl.TotalAllocBytes = int64(p.MaxAllocMB) << 20
+		wl.TargetLiveBytes = wl.TotalAllocBytes * 2 / 5
+		wl.MinDeletions = wl.TotalAllocBytes / 2300
+		wl.MeanTreeNodes = 120
+		wl.LargeObjectSize = 8192
+		wl.LargeEvery = 300
+		return wl
+	}
+	mkSim := func(policy string, p Figure6Point) sim.Config {
+		cfg := sim.DefaultConfig(policy)
+		cfg.Heap.PartitionPages = p.PartitionPages
+		cfg.TriggerOverwrites = 60
+		return cfg
+	}
+	res, err := runFigure6(points, mkWL, mkSim, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range res.Policies {
+		curve := res.StorageMB[policy]
+		if len(curve) != len(points) {
+			t.Fatalf("%s: %d points", policy, len(curve))
+		}
+		// Storage grows with allocation for every policy.
+		if curve[1] <= curve[0] {
+			t.Errorf("%s: storage did not grow with allocation: %v", policy, curve)
+		}
+	}
+	// NoCollection requires the most storage at every point.
+	noColl := res.StorageMB[core.NameNoCollection]
+	for _, policy := range res.Policies[1:] {
+		for i := range points {
+			if res.StorageMB[policy][i] > noColl[i]+0.001 {
+				t.Errorf("%s exceeds NoCollection storage at %d MB", policy, points[i].MaxAllocMB)
+			}
+		}
+	}
+}

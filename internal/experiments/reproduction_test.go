@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"testing"
+
+	"odbgc/internal/core"
+	"odbgc/internal/sim"
+)
+
+// TestPaperShapesAtFullScale guards the reproduction's headline claims at
+// the real base configuration (Tables 2–4) over a few seeds. It takes
+// ~15 s; `go test -short` skips it.
+func TestPaperShapesAtFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale runs are slow")
+	}
+	const seeds = 3
+	run, err := RunBase(seeds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := make(map[string]sim.Aggregate, len(run.Policies))
+	for _, p := range run.Policies {
+		agg[p] = sim.Aggregates(run.Results[p])
+	}
+
+	// Table 4 shape: reclamation ordering.
+	frac := func(p string) float64 { return agg[p].FractionReclaimed.Mean }
+	if !(frac(core.NameMostGarbage) > frac(core.NameRandom)) {
+		t.Errorf("oracle (%.1f%%) did not beat Random (%.1f%%)",
+			frac(core.NameMostGarbage), frac(core.NameRandom))
+	}
+	if !(frac(core.NameUpdatedPointer) > frac(core.NameRandom)) {
+		t.Errorf("UpdatedPointer (%.1f%%) did not beat Random (%.1f%%)",
+			frac(core.NameUpdatedPointer), frac(core.NameRandom))
+	}
+	if !(frac(core.NameRandom) > frac(core.NameMutatedPartition)) {
+		t.Errorf("Random (%.1f%%) did not beat MutatedPartition (%.1f%%)",
+			frac(core.NameRandom), frac(core.NameMutatedPartition))
+	}
+	// UpdatedPointer tracks the oracle within 15 points (paper: ~6).
+	if gap := frac(core.NameMostGarbage) - frac(core.NameUpdatedPointer); gap > 15 {
+		t.Errorf("UpdatedPointer trails the oracle by %.1f points", gap)
+	}
+
+	// Table 3 shape: storage ordering, NoCollection ≈ 1.3–1.7× oracle.
+	storage := func(p string) float64 { return agg[p].MaxOccupiedKB.Mean }
+	if ratio := storage(core.NameNoCollection) / storage(core.NameMostGarbage); ratio < 1.25 || ratio > 1.75 {
+		t.Errorf("NoCollection/MostGarbage storage ratio = %.2f, want ≈1.4–1.5", ratio)
+	}
+	if !(storage(core.NameMutatedPartition) > storage(core.NameUpdatedPointer)) {
+		t.Errorf("MutatedPartition storage (%.0f) not above UpdatedPointer (%.0f)",
+			storage(core.NameMutatedPartition), storage(core.NameUpdatedPointer))
+	}
+
+	// Table 2 shape: bad collection is worse than no collection; the
+	// pointer-hint policies beat NoCollection.
+	ios := func(p string) float64 { return agg[p].TotalIOs.Mean }
+	if !(ios(core.NameMutatedPartition) > ios(core.NameNoCollection)) {
+		t.Errorf("MutatedPartition total I/O (%.0f) not above NoCollection (%.0f)",
+			ios(core.NameMutatedPartition), ios(core.NameNoCollection))
+	}
+	if !(ios(core.NameUpdatedPointer) < ios(core.NameNoCollection)) {
+		t.Errorf("UpdatedPointer total I/O (%.0f) not below NoCollection (%.0f)",
+			ios(core.NameUpdatedPointer), ios(core.NameNoCollection))
+	}
+
+	// Collector efficiency ordering (Table 4's right columns).
+	eff := func(p string) float64 { return agg[p].EfficiencyKBPerIO.Mean }
+	if !(eff(core.NameUpdatedPointer) > 1.5*eff(core.NameMutatedPartition)) {
+		t.Errorf("UpdatedPointer efficiency (%.2f) not ≳2× MutatedPartition (%.2f)",
+			eff(core.NameUpdatedPointer), eff(core.NameMutatedPartition))
+	}
+}
+
+// TestConnectivityDegradationAtFullScale guards the Table 5 trend: the
+// oracle reclaims less at C=1.167 than at C=1.005.
+func TestConnectivityDegradationAtFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale runs are slow")
+	}
+	frac := func(dense float64) float64 {
+		wl := BaseWorkload()
+		wl.DenseEdgeFraction = dense
+		results, err := sim.RunSeeds(BaseSim(core.NameMostGarbage), wl, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim.Aggregates(results).FractionReclaimed.Mean
+	}
+	low, high := frac(0.005), frac(0.167)
+	if !(high < low) {
+		t.Errorf("reclamation at C=1.167 (%.1f%%) not below C=1.005 (%.1f%%)", high, low)
+	}
+}

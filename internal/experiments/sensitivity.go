@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+
+	"odbgc/internal/core"
+	"odbgc/internal/sim"
+	"odbgc/internal/stats"
+)
+
+// Sensitivity studies for the two knobs the paper holds constant but
+// flags as consequential (Section 4.1): the collection trigger interval
+// ("this number varied from 150–300 overwrites") and the partition size
+// ("partition size (relative to the database size) also affects how often
+// a collection is performed"). Each sweep reports the fraction of garbage
+// reclaimed and the total I/O for a small set of representative policies.
+
+// SensitivityPolicies are the policies the sensitivity sweeps exercise.
+var SensitivityPolicies = []string{
+	core.NameRandom,
+	core.NameUpdatedPointer,
+	core.NameMostGarbage,
+}
+
+// TriggerIntervals are the swept overwrite-trigger values; the paper's
+// range plus one coarser point.
+var TriggerIntervals = []int64{150, 200, 280, 450}
+
+// PartitionSizes are the swept partition sizes in 8 KB pages; the paper's
+// range endpoints plus its base value.
+var PartitionSizes = []int{24, 48, 96}
+
+// SensitivityResult holds both sweeps.
+type SensitivityResult struct {
+	// TriggerFraction[policy][i] is the mean % of garbage reclaimed at
+	// TriggerIntervals[i]; TriggerIOs likewise for total I/Os.
+	TriggerFraction map[string][]float64
+	TriggerIOs      map[string][]float64
+	// PartitionFraction and PartitionIOs mirror the above over
+	// PartitionSizes.
+	PartitionFraction map[string][]float64
+	PartitionIOs      map[string][]float64
+}
+
+// RunSensitivity executes both sweeps at the base workload.
+func RunSensitivity(seeds int, progress Progress) (*SensitivityResult, error) {
+	res := &SensitivityResult{
+		TriggerFraction:   make(map[string][]float64),
+		TriggerIOs:        make(map[string][]float64),
+		PartitionFraction: make(map[string][]float64),
+		PartitionIOs:      make(map[string][]float64),
+	}
+	wl := BaseWorkload()
+
+	for _, trigger := range TriggerIntervals {
+		progress.logf("sensitivity: trigger = %d overwrites", trigger)
+		for _, policy := range SensitivityPolicies {
+			cfg := BaseSim(policy)
+			cfg.TriggerOverwrites = trigger
+			results, err := sim.RunSeeds(cfg, wl, seeds)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: sensitivity trigger %d %s: %w", trigger, policy, err)
+			}
+			agg := sim.Aggregates(results)
+			res.TriggerFraction[policy] = append(res.TriggerFraction[policy], agg.FractionReclaimed.Mean)
+			res.TriggerIOs[policy] = append(res.TriggerIOs[policy], agg.TotalIOs.Mean)
+		}
+	}
+
+	for _, pages := range PartitionSizes {
+		progress.logf("sensitivity: partition = %d pages", pages)
+		for _, policy := range SensitivityPolicies {
+			cfg := BaseSim(policy)
+			cfg.Heap.PartitionPages = pages
+			results, err := sim.RunSeeds(cfg, wl, seeds)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: sensitivity partition %d %s: %w", pages, policy, err)
+			}
+			agg := sim.Aggregates(results)
+			res.PartitionFraction[policy] = append(res.PartitionFraction[policy], agg.FractionReclaimed.Mean)
+			res.PartitionIOs[policy] = append(res.PartitionIOs[policy], agg.TotalIOs.Mean)
+		}
+	}
+	return res, nil
+}
+
+// TriggerTable renders the trigger sweep.
+func (r *SensitivityResult) TriggerTable() *stats.Table {
+	headers := []string{"Selection Policy"}
+	for _, tr := range TriggerIntervals {
+		headers = append(headers, fmt.Sprintf("every %d", tr))
+	}
+	t := stats.NewTable("Sensitivity: % garbage reclaimed vs collection trigger (overwrites)", headers...)
+	for _, policy := range SensitivityPolicies {
+		row := []string{policy}
+		for _, v := range r.TriggerFraction[policy] {
+			row = append(row, fmt.Sprintf("%.1f", v))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// PartitionTable renders the partition-size sweep.
+func (r *SensitivityResult) PartitionTable() *stats.Table {
+	headers := []string{"Selection Policy"}
+	for _, pages := range PartitionSizes {
+		headers = append(headers, fmt.Sprintf("%d pages", pages))
+	}
+	t := stats.NewTable("Sensitivity: % garbage reclaimed vs partition size", headers...)
+	for _, policy := range SensitivityPolicies {
+		row := []string{policy}
+		for _, v := range r.PartitionFraction[policy] {
+			row = append(row, fmt.Sprintf("%.1f", v))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"odbgc/internal/sim"
+	"odbgc/internal/stats"
+	"odbgc/internal/workload"
+)
+
+// Table5Connectivities are the database connectivities (pointers per
+// object) the paper sweeps in Table 5, highest first as the paper prints
+// them.
+var Table5Connectivities = []float64{1.167, 1.083, 1.040, 1.005}
+
+// RunTable5 reproduces the connectivity sweep: percent of garbage
+// reclaimed for each policy at each connectivity, averaged over seeds.
+func RunTable5(seeds int, progress Progress) (*Table5Result, error) {
+	res := &Table5Result{Connectivities: Table5Connectivities}
+	for _, c := range Table5Connectivities {
+		wl := BaseWorkload()
+		wl.DenseEdgeFraction = c - 1
+		progress.logf("connectivity C = %.3f", c)
+		run, err := runPolicies(wl, BaseSim, seeds, progress)
+		if err != nil {
+			return nil, err
+		}
+		res.Runs = append(res.Runs, run)
+	}
+	return res, nil
+}
+
+// Table5Result holds one BaseRun per connectivity.
+type Table5Result struct {
+	Connectivities []float64
+	Runs           []*BaseRun
+}
+
+// Table renders the paper's Table 5 layout: policies × connectivities,
+// cells are mean percent of garbage reclaimed.
+func (r *Table5Result) Table() *stats.Table {
+	headers := []string{"Selection Policy"}
+	for _, c := range r.Connectivities {
+		headers = append(headers, fmt.Sprintf("C = %.3f", c))
+	}
+	t := stats.NewTable("Table 5: Database Connectivity Effects on Garbage Collection Performance (% of garbage reclaimed)", headers...)
+	for _, policy := range r.Runs[0].Policies {
+		row := []string{policy}
+		for _, run := range r.Runs {
+			agg := sim.Aggregates(run.Results[policy])
+			row = append(row, fmt.Sprintf("%.1f", agg.FractionReclaimed.Mean))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Workloads returns the swept workload configs (exported for benches).
+func (r *Table5Result) Workloads() []workload.Config {
+	out := make([]workload.Config, len(r.Connectivities))
+	for i, c := range r.Connectivities {
+		wl := BaseWorkload()
+		wl.DenseEdgeFraction = c - 1
+		out[i] = wl
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package gc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"odbgc/internal/core"
+	"odbgc/internal/heap"
+)
+
+func TestBufferedBarrierDefersRemsetUpdates(t *testing.T) {
+	r := newRig(t, core.NewNoCollection())
+	r.mut.SetBufferedBarrier(true)
+	// Two partitions.
+	r.alloc(t, 1, 100, 2, heap.NilOID, 0)
+	r.alloc(t, 2, 3996, 0, heap.NilOID, 0)
+	r.alloc(t, 3, 100, 0, heap.NilOID, 0)
+	pb := r.h.Get(3).Partition
+
+	r.write(t, 1, 0, 3)
+	if r.rem.InCount(pb) != 0 {
+		t.Fatal("buffered barrier updated remset eagerly")
+	}
+	if r.mut.BufferedStores() != 1 {
+		t.Fatalf("BufferedStores = %d, want 1", r.mut.BufferedStores())
+	}
+	r.mut.DrainBarrier()
+	if r.rem.InCount(pb) != 1 {
+		t.Fatal("drain did not apply buffered store")
+	}
+	if r.mut.BufferedStores() != 0 {
+		t.Fatal("drain did not empty the buffer")
+	}
+	if msg := r.rem.Audit(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestBufferedBarrierDrainIsOrderSensitive(t *testing.T) {
+	// Overwrite sequences must replay in order: A->B then A->nil must
+	// leave no entry.
+	r := newRig(t, core.NewNoCollection())
+	r.mut.SetBufferedBarrier(true)
+	r.alloc(t, 1, 100, 1, heap.NilOID, 0)
+	r.alloc(t, 2, 3996, 0, heap.NilOID, 0)
+	r.alloc(t, 3, 100, 0, heap.NilOID, 0)
+	pb := r.h.Get(3).Partition
+	r.write(t, 1, 0, 3)
+	r.write(t, 1, 0, heap.NilOID)
+	r.mut.DrainBarrier()
+	if r.rem.InCount(pb) != 0 {
+		t.Fatalf("InCount = %d after store+clear drain", r.rem.InCount(pb))
+	}
+	if msg := r.rem.Audit(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestSetBufferedBarrierWithPendingStoresPanics(t *testing.T) {
+	r := newRig(t, core.NewNoCollection())
+	r.mut.SetBufferedBarrier(true)
+	r.alloc(t, 1, 100, 1, heap.NilOID, 0)
+	r.alloc(t, 2, 3996, 0, heap.NilOID, 0)
+	r.alloc(t, 3, 100, 0, heap.NilOID, 0)
+	r.write(t, 1, 0, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("mode switch with pending stores did not panic")
+		}
+	}()
+	r.mut.SetBufferedBarrier(false)
+}
+
+// TestBufferedBarrierEquivalence: identical random operation sequences
+// through eager and buffered barriers (draining before each collection)
+// must produce identical heaps, remembered sets, and collection results.
+func TestBufferedBarrierEquivalence(t *testing.T) {
+	f := func(seed int64, nOps uint16) bool {
+		run := func(buffered bool) (int64, int64, string) {
+			pol, err := core.New(core.NameMostGarbage, rand.New(rand.NewSource(7)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := newRig(t, pol)
+			r.mut.SetBufferedBarrier(buffered)
+			rng := rand.New(rand.NewSource(seed))
+			next := heap.OID(1)
+			var oids []heap.OID
+			for i := 0; i < 3; i++ {
+				if err := r.mut.Alloc(next, 100, 3, heap.NilOID, 0); err != nil {
+					t.Fatal(err)
+				}
+				if err := r.mut.Root(next); err != nil {
+					t.Fatal(err)
+				}
+				oids = append(oids, next)
+				next++
+			}
+			var reclaimed, copied int64
+			ops := int(nOps%300) + 30
+			for i := 0; i < ops; i++ {
+				switch rng.Intn(6) {
+				case 0, 1, 2:
+					parent := oids[rng.Intn(len(oids))]
+					if !r.h.Contains(parent) {
+						continue
+					}
+					f := rng.Intn(3)
+					if r.h.Get(parent).Fields[f] != heap.NilOID {
+						continue
+					}
+					if err := r.mut.Alloc(next, 100, 3, parent, f); err != nil {
+						t.Fatal(err)
+					}
+					oids = append(oids, next)
+					next++
+				case 3, 4:
+					src := oids[rng.Intn(len(oids))]
+					if !r.h.Contains(src) {
+						continue
+					}
+					var target heap.OID
+					if cand := oids[rng.Intn(len(oids))]; rng.Intn(2) == 0 && r.h.Contains(cand) {
+						target = cand
+					}
+					if err := r.mut.Write(src, rng.Intn(3), target); err != nil {
+						t.Fatal(err)
+					}
+				case 5:
+					if i%3 == 0 {
+						r.mut.DrainBarrier()
+						res := r.col.Collect()
+						reclaimed += res.ReclaimedBytes
+						copied += res.CopiedBytes
+					}
+				}
+			}
+			r.mut.DrainBarrier()
+			if msg := r.rem.Audit(); msg != "" {
+				t.Fatalf("buffered=%v: %s", buffered, msg)
+			}
+			// Fingerprint the heap: occupied bytes + live bytes.
+			return reclaimed, copied, heapFingerprint(r)
+		}
+		r1, c1, h1 := run(false)
+		r2, c2, h2 := run(true)
+		if r1 != r2 || c1 != c2 || h1 != h2 {
+			t.Errorf("eager (%d,%d,%s) != buffered (%d,%d,%s)", r1, c1, h1, r2, c2, h2)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// heapFingerprint summarizes heap state for equivalence comparison.
+func heapFingerprint(r *rig) string {
+	var live int64
+	for oid := range r.env.Oracle.Live() {
+		live += r.h.Get(oid).Size
+	}
+	return fmt.Sprintf("occ=%d live=%d parts=%d empty=%d",
+		r.h.OccupiedBytes(), live, r.h.NumPartitions(), r.h.EmptyPartition())
+}

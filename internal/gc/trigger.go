@@ -1,0 +1,75 @@
+package gc
+
+import "fmt"
+
+// Trigger decides when to activate the collector. The paper triggers a
+// collection after a fixed number of pointer overwrites (150–300 in its
+// runs), because overwrites correlate with garbage creation and because an
+// overwrite count is independent of the partition selection policy, so
+// every policy performs the same number of collections.
+type Trigger interface {
+	// RecordOverwrite notes one pointer overwrite and reports whether the
+	// collector should run now.
+	RecordOverwrite() bool
+	// RecordAllocation notes bytes allocated and reports whether the
+	// collector should run now.
+	RecordAllocation(bytes int64) bool
+	// Reset clears progress toward the next activation; the simulator
+	// calls it after each collection.
+	Reset()
+}
+
+// OverwriteTrigger activates every N pointer overwrites — the paper's
+// "when to perform collection" choice.
+type OverwriteTrigger struct {
+	every int64
+	count int64
+}
+
+// NewOverwriteTrigger returns a trigger firing every n overwrites.
+func NewOverwriteTrigger(n int64) (*OverwriteTrigger, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gc: overwrite trigger interval %d must be positive", n)
+	}
+	return &OverwriteTrigger{every: n}, nil
+}
+
+// RecordOverwrite implements Trigger.
+func (t *OverwriteTrigger) RecordOverwrite() bool {
+	t.count++
+	return t.count >= t.every
+}
+
+// RecordAllocation implements Trigger; allocation does not advance it.
+func (t *OverwriteTrigger) RecordAllocation(int64) bool { return false }
+
+// Reset implements Trigger.
+func (t *OverwriteTrigger) Reset() { t.count = 0 }
+
+// AllocationTrigger activates after a fixed number of bytes has been
+// allocated — an alternative "when to collect" policy from the paper's
+// Table 1 ("when more space is needed"), provided for ablation studies.
+type AllocationTrigger struct {
+	everyBytes int64
+	bytes      int64
+}
+
+// NewAllocationTrigger returns a trigger firing every n allocated bytes.
+func NewAllocationTrigger(n int64) (*AllocationTrigger, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gc: allocation trigger interval %d must be positive", n)
+	}
+	return &AllocationTrigger{everyBytes: n}, nil
+}
+
+// RecordOverwrite implements Trigger; overwrites do not advance it.
+func (t *AllocationTrigger) RecordOverwrite() bool { return false }
+
+// RecordAllocation implements Trigger.
+func (t *AllocationTrigger) RecordAllocation(bytes int64) bool {
+	t.bytes += bytes
+	return t.bytes >= t.everyBytes
+}
+
+// Reset implements Trigger.
+func (t *AllocationTrigger) Reset() { t.bytes = 0 }

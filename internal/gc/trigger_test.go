@@ -1,0 +1,66 @@
+package gc
+
+import "testing"
+
+func TestOverwriteTriggerFiresEveryN(t *testing.T) {
+	tr, err := NewOverwriteTrigger(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for i := 0; i < 9; i++ {
+		if tr.RecordOverwrite() {
+			fired++
+			tr.Reset()
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times in 9 overwrites with interval 3", fired)
+	}
+}
+
+func TestOverwriteTriggerIgnoresAllocation(t *testing.T) {
+	tr, err := NewOverwriteTrigger(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.RecordAllocation(1 << 20) {
+		t.Fatal("allocation advanced an overwrite trigger")
+	}
+}
+
+func TestOverwriteTriggerValidation(t *testing.T) {
+	for _, n := range []int64{0, -5} {
+		if _, err := NewOverwriteTrigger(n); err == nil {
+			t.Errorf("NewOverwriteTrigger(%d): want error", n)
+		}
+	}
+}
+
+func TestAllocationTriggerFiresOnBytes(t *testing.T) {
+	tr, err := NewAllocationTrigger(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.RecordAllocation(999) {
+		t.Fatal("fired early")
+	}
+	if !tr.RecordAllocation(1) {
+		t.Fatal("did not fire at threshold")
+	}
+	tr.Reset()
+	if tr.RecordAllocation(500) {
+		t.Fatal("fired after reset")
+	}
+	if tr.RecordOverwrite() {
+		t.Fatal("overwrite advanced an allocation trigger")
+	}
+}
+
+func TestAllocationTriggerValidation(t *testing.T) {
+	for _, n := range []int64{0, -1} {
+		if _, err := NewAllocationTrigger(n); err == nil {
+			t.Errorf("NewAllocationTrigger(%d): want error", n)
+		}
+	}
+}

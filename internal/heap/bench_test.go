@@ -1,0 +1,102 @@
+package heap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkAlloc(b *testing.B) {
+	h, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parent := NilOID
+		if i > 0 && rng.Intn(2) == 0 {
+			parent = OID(rng.Intn(i) + 1)
+		}
+		if _, _, err := h.Alloc(OID(i+1), int64(50+rng.Intn(101)), 4, parent); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteField(b *testing.B) {
+	h, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 10_000
+	for i := 1; i <= n; i++ {
+		if _, _, err := h.Alloc(OID(i), 100, 4, NilOID); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.WriteField(OID(rng.Intn(n)+1), rng.Intn(4), OID(rng.Intn(n)+1))
+	}
+}
+
+// BenchmarkOracleLive measures a full reachability pass over a 50k-object
+// forest — the per-collection cost of the MostGarbage policy.
+func BenchmarkOracleLive(b *testing.B) {
+	h, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	const n = 50_000
+	for i := 1; i <= n; i++ {
+		parent := NilOID
+		if i > 1 {
+			parent = OID(rng.Intn(i-1) + 1)
+		}
+		if _, _, err := h.Alloc(OID(i), 100, 4, parent); err != nil {
+			b.Fatal(err)
+		}
+		if parent == NilOID {
+			h.AddRoot(OID(i))
+		} else {
+			f := rng.Intn(4)
+			if h.Get(parent).Fields[f] == NilOID {
+				h.WriteField(parent, f, OID(i))
+			}
+		}
+	}
+	o := NewOracle(h)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Live()
+	}
+}
+
+func BenchmarkGarbageByPartition(b *testing.B) {
+	h, err := New(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	const n = 20_000
+	for i := 1; i <= n; i++ {
+		if _, _, err := h.Alloc(OID(i), 100, 4, NilOID); err != nil {
+			b.Fatal(err)
+		}
+		if i%100 == 1 {
+			h.AddRoot(OID(i))
+		} else if rng.Intn(4) != 0 {
+			prev := OID(i - 1)
+			if h.Get(prev).Fields[0] == NilOID {
+				h.WriteField(prev, 0, OID(i))
+			}
+		}
+	}
+	o := NewOracle(h)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.GarbageByPartition()
+	}
+}

@@ -1,0 +1,367 @@
+package heap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config fixes the geometry of the simulated database.
+type Config struct {
+	// PageSize is the size of one page in bytes (the paper uses 8 KB).
+	PageSize int64
+	// PartitionPages is the number of pages per partition (24–100 in the
+	// paper, depending on database size).
+	PartitionPages int
+	// ReserveEmpty keeps one partition empty at all times so a copying
+	// collection always has a target. It is false only under the
+	// NoCollection policy, which never collects.
+	ReserveEmpty bool
+}
+
+// DefaultConfig returns the geometry used for the paper's Tables 2–5:
+// 48 pages of 8 KB per partition, with a reserved empty partition.
+func DefaultConfig() Config {
+	return Config{PageSize: 8192, PartitionPages: 48, ReserveEmpty: true}
+}
+
+// PartitionBytes returns the size of one partition in bytes.
+func (c Config) PartitionBytes() int64 { return c.PageSize * int64(c.PartitionPages) }
+
+func (c Config) validate() error {
+	if c.PageSize <= 0 {
+		return fmt.Errorf("heap: page size %d must be positive", c.PageSize)
+	}
+	if c.PartitionPages <= 0 {
+		return fmt.Errorf("heap: partition pages %d must be positive", c.PartitionPages)
+	}
+	return nil
+}
+
+// Partition is one contiguous, fixed-size region of the database address
+// space. Objects are bump-allocated within it; space is reclaimed only by
+// evacuating the whole partition (copying collection) and resetting it.
+type Partition struct {
+	// ID is the partition's index in the heap.
+	ID PartitionID
+	// Base is the partition's first global byte address.
+	Base Addr
+
+	used    int64 // bump offset: bytes allocated since the last reset
+	objects map[OID]struct{}
+}
+
+// Used reports the bytes occupied in the partition (live objects plus
+// unreclaimed garbage; there are no holes because allocation only bumps).
+func (p *Partition) Used() int64 { return p.used }
+
+// Len reports the number of objects resident in the partition.
+func (p *Partition) Len() int { return len(p.objects) }
+
+// Objects calls fn for every object OID resident in the partition.
+// Iteration order is unspecified.
+func (p *Partition) Objects(fn func(OID)) {
+	for oid := range p.objects {
+		fn(oid)
+	}
+}
+
+// Heap is the simulated object database: a growable sequence of partitions,
+// an object table, and a root set.
+type Heap struct {
+	cfg   Config
+	parts []*Partition
+	table map[OID]*Object
+	roots map[OID]struct{}
+
+	// empty is the reserved empty partition, or NoPartition when
+	// cfg.ReserveEmpty is false.
+	empty PartitionID
+
+	totalAllocated int64 // cumulative bytes ever allocated
+	totalObjects   int64 // cumulative objects ever allocated
+}
+
+// ErrObjectTooLarge is returned when an object cannot fit in a partition.
+var ErrObjectTooLarge = errors.New("heap: object larger than a partition")
+
+// New returns an empty heap with one allocatable partition, plus the
+// reserved empty partition if the configuration asks for one.
+func New(cfg Config) (*Heap, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	h := &Heap{
+		cfg:   cfg,
+		table: make(map[OID]*Object),
+		roots: make(map[OID]struct{}),
+		empty: NoPartition,
+	}
+	h.addPartition()
+	if cfg.ReserveEmpty {
+		h.empty = h.addPartition().ID
+	}
+	return h, nil
+}
+
+// Config returns the heap's geometry.
+func (h *Heap) Config() Config { return h.cfg }
+
+// addPartition appends a fresh partition and returns it.
+func (h *Heap) addPartition() *Partition {
+	id := PartitionID(len(h.parts))
+	p := &Partition{
+		ID:      id,
+		Base:    Addr(int64(id) * h.cfg.PartitionBytes()),
+		objects: make(map[OID]struct{}),
+	}
+	h.parts = append(h.parts, p)
+	return p
+}
+
+// NumPartitions reports the current number of partitions, including the
+// reserved empty partition if any.
+func (h *Heap) NumPartitions() int { return len(h.parts) }
+
+// Partition returns the partition with the given ID. It panics on an
+// out-of-range ID, which always indicates a simulator bug.
+func (h *Heap) Partition(id PartitionID) *Partition {
+	return h.parts[id]
+}
+
+// EmptyPartition returns the reserved empty partition, or NoPartition when
+// the heap runs without one.
+func (h *Heap) EmptyPartition() PartitionID { return h.empty }
+
+// SetEmptyPartition designates p as the reserved empty partition. The
+// collector calls this after evacuating p. It panics if p is not empty.
+func (h *Heap) SetEmptyPartition(p PartitionID) {
+	if h.parts[p].used != 0 {
+		panic(fmt.Sprintf("heap: partition %d designated empty but has %d used bytes", p, h.parts[p].used))
+	}
+	h.empty = p
+}
+
+// Get returns the object with the given OID, or nil if no such object is
+// resident in the heap.
+func (h *Heap) Get(oid OID) *Object { return h.table[oid] }
+
+// Contains reports whether oid names a resident object.
+func (h *Heap) Contains(oid OID) bool {
+	_, ok := h.table[oid]
+	return ok
+}
+
+// Len reports the number of resident objects.
+func (h *Heap) Len() int { return len(h.table) }
+
+// TotalAllocatedBytes reports the cumulative bytes ever allocated, including
+// bytes since reclaimed. This is the paper's "maximum allocated" axis.
+func (h *Heap) TotalAllocatedBytes() int64 { return h.totalAllocated }
+
+// TotalAllocatedObjects reports the cumulative number of objects allocated.
+func (h *Heap) TotalAllocatedObjects() int64 { return h.totalObjects }
+
+// OccupiedBytes reports the bytes currently occupied across all partitions:
+// live objects plus unreclaimed garbage (the paper's "database size").
+func (h *Heap) OccupiedBytes() int64 {
+	var n int64
+	for _, p := range h.parts {
+		n += p.used
+	}
+	return n
+}
+
+// FootprintBytes reports the total address space held by the database:
+// partition count times partition size. This includes external
+// fragmentation, matching Table 3's "maximum storage required".
+func (h *Heap) FootprintBytes() int64 {
+	return int64(len(h.parts)) * h.cfg.PartitionBytes()
+}
+
+// AddRoot marks oid as a member of the database root set. Root objects and
+// everything reachable from them are live.
+func (h *Heap) AddRoot(oid OID) {
+	if !h.Contains(oid) {
+		panic(fmt.Sprintf("heap: AddRoot(%d): no such object", oid))
+	}
+	h.roots[oid] = struct{}{}
+}
+
+// IsRoot reports whether oid is in the root set.
+func (h *Heap) IsRoot(oid OID) bool {
+	_, ok := h.roots[oid]
+	return ok
+}
+
+// Roots calls fn for every root OID. Iteration order is unspecified.
+func (h *Heap) Roots(fn func(OID)) {
+	for oid := range h.roots {
+		fn(oid)
+	}
+}
+
+// NumRoots reports the size of the root set.
+func (h *Heap) NumRoots() int { return len(h.roots) }
+
+// Grew is the result of an allocation, reporting whether the database had
+// to grow to satisfy it.
+type Grew struct {
+	// Added is the number of partitions added (0 or 1).
+	Added int
+}
+
+// Alloc allocates a new object of the given size with nfields pointer
+// slots, placing it near parent when possible: in the parent's partition if
+// the object fits there, otherwise in the resident partition with the most
+// free space, otherwise in a freshly added partition (the paper's "when to
+// grow" policy). A NilOID parent requests no placement affinity.
+//
+// Alloc returns ErrObjectTooLarge if size exceeds the partition size, and
+// panics if oid is already resident (trace corruption).
+func (h *Heap) Alloc(oid OID, size int64, nfields int, parent OID) (*Object, Grew, error) {
+	if size <= 0 {
+		return nil, Grew{}, fmt.Errorf("heap: Alloc(%d): size %d must be positive", oid, size)
+	}
+	if size > h.cfg.PartitionBytes() {
+		return nil, Grew{}, fmt.Errorf("%w: %d > %d", ErrObjectTooLarge, size, h.cfg.PartitionBytes())
+	}
+	if h.Contains(oid) {
+		panic(fmt.Sprintf("heap: Alloc(%d): OID already resident", oid))
+	}
+
+	var grew Grew
+	target := h.placeFor(size, parent)
+	if target == nil {
+		target = h.addPartition()
+		grew.Added = 1
+	}
+
+	obj := &Object{
+		OID:       oid,
+		Size:      size,
+		Partition: target.ID,
+		Addr:      target.Base + Addr(target.used),
+		Fields:    make([]OID, nfields),
+		Weight:    MaxWeight,
+	}
+	target.used += size
+	target.objects[oid] = struct{}{}
+	h.table[oid] = obj
+	h.totalAllocated += size
+	h.totalObjects++
+	return obj, grew, nil
+}
+
+// placeFor chooses the partition for a new object of the given size, or nil
+// if no resident partition has room. The reserved empty partition is never
+// an allocation target.
+func (h *Heap) placeFor(size int64, parent OID) *Partition {
+	partBytes := h.cfg.PartitionBytes()
+	if parent != NilOID {
+		if po := h.table[parent]; po != nil && po.Partition != h.empty {
+			p := h.parts[po.Partition]
+			if partBytes-p.used >= size {
+				return p
+			}
+		}
+	}
+	var best *Partition
+	var bestFree int64
+	for _, p := range h.parts {
+		if p.ID == h.empty {
+			continue
+		}
+		if free := partBytes - p.used; free >= size && free > bestFree {
+			best, bestFree = p, free
+		}
+	}
+	return best
+}
+
+// WriteField stores target into field f of src and returns the previous
+// value. It is the raw heap mutation; the write barrier in package gc wraps
+// it with remembered-set and policy bookkeeping.
+func (h *Heap) WriteField(src OID, f int, target OID) OID {
+	obj := h.table[src]
+	if obj == nil {
+		panic(fmt.Sprintf("heap: WriteField(%d): no such object", src))
+	}
+	if f < 0 || f >= len(obj.Fields) {
+		panic(fmt.Sprintf("heap: WriteField(%d): field %d out of range [0,%d)", src, f, len(obj.Fields)))
+	}
+	old := obj.Fields[f]
+	obj.Fields[f] = target
+	return old
+}
+
+// Move relocates a resident object into partition dst by bump allocation,
+// updating the object's partition and address. The collector uses Move to
+// evacuate live objects into the empty partition. It panics if dst lacks
+// room, which would mean the collector copied more than one partition's
+// worth of data into one partition.
+func (h *Heap) Move(oid OID, dst PartitionID) {
+	obj := h.table[oid]
+	if obj == nil {
+		panic(fmt.Sprintf("heap: Move(%d): no such object", oid))
+	}
+	to := h.parts[dst]
+	if h.cfg.PartitionBytes()-to.used < obj.Size {
+		panic(fmt.Sprintf("heap: Move(%d): partition %d has %d free, need %d",
+			oid, dst, h.cfg.PartitionBytes()-to.used, obj.Size))
+	}
+	from := h.parts[obj.Partition]
+	delete(from.objects, oid)
+	// The source partition's bump offset is not decremented: evacuation
+	// frees space only when the whole partition is reset afterwards.
+	obj.Partition = dst
+	obj.Addr = to.Base + Addr(to.used)
+	to.used += obj.Size
+	to.objects[oid] = struct{}{}
+}
+
+// Discard removes a dead object from the heap. Like Move, it does not give
+// space back to the source partition; ResetPartition does.
+func (h *Heap) Discard(oid OID) {
+	obj := h.table[oid]
+	if obj == nil {
+		panic(fmt.Sprintf("heap: Discard(%d): no such object", oid))
+	}
+	if h.IsRoot(oid) {
+		panic(fmt.Sprintf("heap: Discard(%d): object is a root", oid))
+	}
+	delete(h.parts[obj.Partition].objects, oid)
+	delete(h.table, oid)
+}
+
+// ResetPartition marks a fully evacuated partition as empty again. It
+// panics if any object is still resident there.
+func (h *Heap) ResetPartition(id PartitionID) {
+	p := h.parts[id]
+	if len(p.objects) != 0 {
+		panic(fmt.Sprintf("heap: ResetPartition(%d): %d objects still resident", id, len(p.objects)))
+	}
+	p.used = 0
+}
+
+// PageRange returns the first and last page touched by the byte range
+// [addr, addr+size).
+func (h *Heap) PageRange(addr Addr, size int64) (first, last PageID) {
+	first = PageID(int64(addr) / h.cfg.PageSize)
+	last = PageID((int64(addr) + size - 1) / h.cfg.PageSize)
+	return first, last
+}
+
+// ObjectPages returns the page range occupied by the object.
+func (h *Heap) ObjectPages(obj *Object) (first, last PageID) {
+	return h.PageRange(obj.Addr, obj.Size)
+}
+
+// PartitionOfAddr returns the partition owning the given address, or
+// NoPartition if the address is beyond the current database extent.
+func (h *Heap) PartitionOfAddr(addr Addr) PartitionID {
+	id := PartitionID(int64(addr) / h.cfg.PartitionBytes())
+	if id < 0 || int(id) >= len(h.parts) {
+		return NoPartition
+	}
+	return id
+}

@@ -1,0 +1,96 @@
+package heap
+
+// Oracle computes exact reachability over the whole heap. The simulator
+// uses it for the MostGarbage policy ("provided by our simulation system",
+// Section 3.1) and for the metrics the paper reports: live bytes, garbage
+// per partition, and unreclaimed garbage over time.
+//
+// An Oracle holds reusable scratch space; it is not safe for concurrent use.
+type Oracle struct {
+	h     *Heap
+	seen  map[OID]struct{}
+	queue []OID
+}
+
+// NewOracle returns an oracle over h.
+func NewOracle(h *Heap) *Oracle {
+	return &Oracle{h: h, seen: make(map[OID]struct{})}
+}
+
+// Live returns the set of OIDs reachable from the root set. The returned
+// map is scratch space owned by the oracle and is invalidated by the next
+// oracle call.
+func (o *Oracle) Live() map[OID]struct{} {
+	clear(o.seen)
+	o.queue = o.queue[:0]
+	o.h.Roots(func(r OID) {
+		o.seen[r] = struct{}{}
+		o.queue = append(o.queue, r)
+	})
+	for len(o.queue) > 0 {
+		oid := o.queue[len(o.queue)-1]
+		o.queue = o.queue[:len(o.queue)-1]
+		obj := o.h.Get(oid)
+		for _, f := range obj.Fields {
+			if f == NilOID {
+				continue
+			}
+			if _, ok := o.seen[f]; ok {
+				continue
+			}
+			if !o.h.Contains(f) {
+				continue
+			}
+			o.seen[f] = struct{}{}
+			o.queue = append(o.queue, f)
+		}
+	}
+	return o.seen
+}
+
+// LiveBytes returns the total size of all reachable objects.
+func (o *Oracle) LiveBytes() int64 {
+	var n int64
+	for oid := range o.Live() {
+		n += o.h.Get(oid).Size
+	}
+	return n
+}
+
+// GarbageByPartition returns, for each partition, the bytes occupied by
+// unreachable objects. Index is the PartitionID.
+func (o *Oracle) GarbageByPartition() []int64 {
+	live := o.Live()
+	garbage := make([]int64, o.h.NumPartitions())
+	for id := range garbage {
+		garbage[id] = o.h.Partition(PartitionID(id)).Used()
+	}
+	for oid := range live {
+		obj := o.h.Get(oid)
+		garbage[obj.Partition] -= obj.Size
+	}
+	return garbage
+}
+
+// UnreclaimedGarbageBytes returns the bytes occupied by unreachable objects
+// across the whole heap (Figure 4's y-axis).
+func (o *Oracle) UnreclaimedGarbageBytes() int64 {
+	return o.h.OccupiedBytes() - o.LiveBytes()
+}
+
+// MostGarbagePartition returns the partition holding the most garbage
+// bytes, excluding the reserved empty partition, along with that amount.
+// Ties break toward the lowest partition ID so results are deterministic.
+func (o *Oracle) MostGarbagePartition() (PartitionID, int64) {
+	garbage := o.GarbageByPartition()
+	best, bestAmt := NoPartition, int64(-1)
+	for id, amt := range garbage {
+		if PartitionID(id) == o.h.EmptyPartition() {
+			continue
+		}
+		if amt > bestAmt {
+			best, bestAmt = PartitionID(id), amt
+		}
+	}
+	return best, bestAmt
+}

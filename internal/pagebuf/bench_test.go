@@ -1,0 +1,35 @@
+package pagebuf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchAccesses(b *testing.B, repl Replacement, pages int) {
+	b.Helper()
+	buf, err := NewWithReplacement(48, repl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	seq := make([]PageID, 4096)
+	for i := range seq {
+		seq[i] = PageID(rng.Intn(pages))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := seq[i%len(seq)]
+		if i%5 == 0 {
+			buf.Write(p, ActorApp)
+		} else {
+			buf.Read(p, ActorApp)
+		}
+	}
+}
+
+func BenchmarkLRUHitHeavy(b *testing.B)   { benchAccesses(b, LRU, 32) }   // fits: mostly hits
+func BenchmarkLRUMissHeavy(b *testing.B)  { benchAccesses(b, LRU, 1024) } // thrashes
+func BenchmarkClockHitHeavy(b *testing.B) { benchAccesses(b, Clock, 32) }
+func BenchmarkClockMissHeavy(b *testing.B) {
+	benchAccesses(b, Clock, 1024)
+}

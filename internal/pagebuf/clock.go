@@ -1,0 +1,94 @@
+package pagebuf
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// Replacement selects the page replacement algorithm of a buffer. The
+// paper simulates an LRU buffer; CLOCK is the classic cheap
+// approximation most real database buffer managers use, provided here so
+// the sensitivity of the results to the replacement policy can be
+// measured.
+type Replacement int
+
+const (
+	// LRU evicts the least recently used page.
+	LRU Replacement = iota
+	// Clock evicts the first page without a reference bit, sweeping a
+	// circular hand and clearing bits as it goes (second chance).
+	Clock
+)
+
+// String names the replacement algorithm.
+func (r Replacement) String() string {
+	switch r {
+	case LRU:
+		return "lru"
+	case Clock:
+		return "clock"
+	default:
+		return fmt.Sprintf("Replacement(%d)", int(r))
+	}
+}
+
+// NewWithReplacement returns a buffer with the given capacity and
+// replacement algorithm. New(capacity) is equivalent to
+// NewWithReplacement(capacity, LRU).
+func NewWithReplacement(capacity int, r Replacement) (*Buffer, error) {
+	b, err := New(capacity)
+	if err != nil {
+		return nil, err
+	}
+	switch r {
+	case LRU, Clock:
+		b.replacement = r
+	default:
+		return nil, fmt.Errorf("pagebuf: unknown replacement algorithm %d", r)
+	}
+	return b, nil
+}
+
+// Replacement reports the buffer's replacement algorithm.
+func (b *Buffer) Replacement() Replacement { return b.replacement }
+
+// clockTouch is the hit/insert path under CLOCK: hits set the reference
+// bit; misses insert behind the hand.
+func (b *Buffer) clockTouch(el *list.Element, write bool) {
+	f := el.Value.(*frame)
+	f.referenced = true
+	if write {
+		f.dirty = true
+	}
+}
+
+// clockEvict advances the hand until it finds an unreferenced frame,
+// clearing reference bits along the way, and evicts that frame.
+func (b *Buffer) clockEvict(actor Actor) {
+	if b.hand == nil {
+		b.hand = b.lru.Front()
+	}
+	for {
+		if b.hand == nil {
+			b.hand = b.lru.Front()
+		}
+		f := b.hand.Value.(*frame)
+		if f.referenced {
+			f.referenced = false
+			b.hand = b.hand.Next()
+			continue
+		}
+		victim := b.hand
+		b.hand = b.hand.Next()
+		if f.dirty {
+			b.stats.ByActor[actor].WriteIOs++
+			b.onDisk[f.page] = struct{}{}
+			if b.writeBack != nil {
+				b.writeBack(f.page, actor)
+			}
+		}
+		b.lru.Remove(victim)
+		delete(b.frames, f.page)
+		return
+	}
+}

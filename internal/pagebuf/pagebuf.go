@@ -1,0 +1,244 @@
+// Package pagebuf simulates the database I/O buffer that defines the
+// paper's cost model (Section 4.2): a fixed number of page frames managed
+// with LRU replacement and write-back updates. Every simulated page access
+// goes through the buffer; the buffer counts the disk read and write I/O
+// operations that result, attributed separately to the application and to
+// the garbage collector.
+package pagebuf
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// PageID identifies one page of the simulated database address space.
+type PageID int64
+
+// Actor says on whose behalf a page access is performed. The paper reports
+// application I/Os and collector I/Os separately (Table 2).
+type Actor int
+
+const (
+	// ActorApp is the application mutator.
+	ActorApp Actor = iota
+	// ActorGC is the garbage collector.
+	ActorGC
+	numActors
+)
+
+// String returns "app" or "gc".
+func (a Actor) String() string {
+	switch a {
+	case ActorApp:
+		return "app"
+	case ActorGC:
+		return "gc"
+	default:
+		return fmt.Sprintf("Actor(%d)", int(a))
+	}
+}
+
+// ActorStats counts one actor's buffer activity and resulting disk I/Os.
+type ActorStats struct {
+	// Accesses is the number of page accesses (reads + writes) issued.
+	Accesses int64
+	// Hits is the number of accesses satisfied from the buffer.
+	Hits int64
+	// Misses is the number of accesses that did not find the page cached.
+	Misses int64
+	// ReadIOs is the number of disk reads performed (misses on pages that
+	// exist on disk; a miss on a never-persisted page materializes the
+	// page without a disk read).
+	ReadIOs int64
+	// WriteIOs is the number of disk writes performed (dirty evictions and
+	// explicit flushes caused by this actor's activity).
+	WriteIOs int64
+}
+
+// IOs returns the actor's total disk operations.
+func (s ActorStats) IOs() int64 { return s.ReadIOs + s.WriteIOs }
+
+// Stats is a snapshot of buffer activity.
+type Stats struct {
+	// ByActor indexes ActorStats by Actor.
+	ByActor [numActors]ActorStats
+}
+
+// App returns the application's counters.
+func (s Stats) App() ActorStats { return s.ByActor[ActorApp] }
+
+// GC returns the collector's counters.
+func (s Stats) GC() ActorStats { return s.ByActor[ActorGC] }
+
+// TotalIOs returns disk operations across all actors.
+func (s Stats) TotalIOs() int64 {
+	var n int64
+	for _, a := range s.ByActor {
+		n += a.IOs()
+	}
+	return n
+}
+
+type frame struct {
+	page       PageID
+	dirty      bool
+	referenced bool // CLOCK reference bit
+}
+
+// Buffer is the simulated write-back page buffer (LRU by default; see
+// NewWithReplacement for CLOCK).
+type Buffer struct {
+	capacity    int
+	frames      map[PageID]*list.Element // value: *frame
+	lru         *list.List               // LRU: front = most recent; CLOCK: the ring
+	hand        *list.Element            // CLOCK hand
+	replacement Replacement
+	onDisk      map[PageID]struct{} // pages with a persistent copy
+	stats       Stats
+
+	// Backing-store hooks, nil for a plain buffer. fetch runs when a miss
+	// pulls a persisted page back in (a "read I/O"); writeBack runs when
+	// a dirty page is written out (a "write I/O"). The tiered
+	// client/server composition uses them to forward the client cache's
+	// traffic to the server buffer.
+	fetch     func(PageID, Actor)
+	writeBack func(PageID, Actor)
+}
+
+// New returns a buffer with room for capacity pages.
+func New(capacity int) (*Buffer, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("pagebuf: capacity %d must be positive", capacity)
+	}
+	return &Buffer{
+		capacity: capacity,
+		frames:   make(map[PageID]*list.Element, capacity),
+		lru:      list.New(),
+		onDisk:   make(map[PageID]struct{}),
+	}, nil
+}
+
+// Capacity returns the buffer's size in pages.
+func (b *Buffer) Capacity() int { return b.capacity }
+
+// Len returns the number of pages currently cached.
+func (b *Buffer) Len() int { return b.lru.Len() }
+
+// Contains reports whether the page is currently cached.
+func (b *Buffer) Contains(p PageID) bool {
+	_, ok := b.frames[p]
+	return ok
+}
+
+// Stats returns a snapshot of the buffer's counters.
+func (b *Buffer) Stats() Stats { return b.stats }
+
+// ResetStats zeroes the I/O counters without touching cached pages. Warm-
+// start measurement uses it to discard the build phase's I/O.
+func (b *Buffer) ResetStats() { b.stats = Stats{} }
+
+// Read accesses page p for reading on behalf of actor.
+func (b *Buffer) Read(p PageID, actor Actor) { b.touch(p, false, actor) }
+
+// Write accesses page p for writing on behalf of actor. The page becomes
+// dirty; the disk write happens at eviction (write-back).
+func (b *Buffer) Write(p PageID, actor Actor) { b.touch(p, true, actor) }
+
+// ReadRange reads every page in [first, last] in ascending order.
+func (b *Buffer) ReadRange(first, last PageID, actor Actor) {
+	for p := first; p <= last; p++ {
+		b.Read(p, actor)
+	}
+}
+
+// WriteRange writes every page in [first, last] in ascending order.
+func (b *Buffer) WriteRange(first, last PageID, actor Actor) {
+	for p := first; p <= last; p++ {
+		b.Write(p, actor)
+	}
+}
+
+func (b *Buffer) touch(p PageID, write bool, actor Actor) {
+	st := &b.stats.ByActor[actor]
+	st.Accesses++
+
+	if el, ok := b.frames[p]; ok {
+		st.Hits++
+		if b.replacement == Clock {
+			b.clockTouch(el, write)
+		} else {
+			b.lru.MoveToFront(el)
+			if write {
+				el.Value.(*frame).dirty = true
+			}
+		}
+		return
+	}
+
+	st.Misses++
+	if _, persisted := b.onDisk[p]; persisted {
+		st.ReadIOs++
+		if b.fetch != nil {
+			b.fetch(p, actor)
+		}
+	}
+	// A miss on a never-persisted page materializes a fresh page in the
+	// buffer with no disk read (write-allocate of newly created data).
+	if b.lru.Len() >= b.capacity {
+		if b.replacement == Clock {
+			b.clockEvict(actor)
+		} else {
+			b.evict(actor)
+		}
+	}
+	f := &frame{page: p, dirty: write, referenced: true}
+	if b.replacement == Clock {
+		b.frames[p] = b.lru.PushBack(f)
+	} else {
+		b.frames[p] = b.lru.PushFront(f)
+	}
+}
+
+// evict removes the least recently used page, charging a disk write to
+// actor if the page is dirty.
+func (b *Buffer) evict(actor Actor) {
+	el := b.lru.Back()
+	f := el.Value.(*frame)
+	if f.dirty {
+		b.stats.ByActor[actor].WriteIOs++
+		b.onDisk[f.page] = struct{}{}
+		if b.writeBack != nil {
+			b.writeBack(f.page, actor)
+		}
+	}
+	b.lru.Remove(el)
+	delete(b.frames, f.page)
+}
+
+// Flush writes back every dirty cached page, charging the writes to actor.
+// Cached pages stay resident (and clean). Flush is not part of the paper's
+// measured runs; it exists for end-of-simulation consistency checks.
+func (b *Buffer) Flush(actor Actor) {
+	for el := b.lru.Front(); el != nil; el = el.Next() {
+		f := el.Value.(*frame)
+		if f.dirty {
+			f.dirty = false
+			b.stats.ByActor[actor].WriteIOs++
+			b.onDisk[f.page] = struct{}{}
+			if b.writeBack != nil {
+				b.writeBack(f.page, actor)
+			}
+		}
+	}
+}
+
+// DirtyPages returns the number of cached dirty pages.
+func (b *Buffer) DirtyPages() int {
+	n := 0
+	for el := b.lru.Front(); el != nil; el = el.Next() {
+		if el.Value.(*frame).dirty {
+			n++
+		}
+	}
+	return n
+}

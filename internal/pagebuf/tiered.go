@@ -1,0 +1,54 @@
+package pagebuf
+
+import "fmt"
+
+// Tiered models the client/server (workstation–server) architecture of
+// the paper's related work: a page cache at the client in front of the
+// server's buffer. Client misses fetch the page from the server — a
+// network transfer, which may in turn cost a server disk read — and dirty
+// client evictions ship the page back to the server, whose own dirty
+// evictions are the disk writes. The paper's single-process cost model is
+// the degenerate case with no client cache.
+//
+// Accounting: the client buffer's ReadIOs/WriteIOs count *network* page
+// transfers; the server buffer's count *disk* operations. Both are split
+// by actor as usual.
+type Tiered struct {
+	client *Buffer
+	server *Buffer
+}
+
+// NewTiered returns a two-tier buffer with the given client cache and
+// server buffer capacities (in pages).
+func NewTiered(clientPages, serverPages int) (*Tiered, error) {
+	server, err := New(serverPages)
+	if err != nil {
+		return nil, fmt.Errorf("pagebuf: server tier: %w", err)
+	}
+	client, err := New(clientPages)
+	if err != nil {
+		return nil, fmt.Errorf("pagebuf: client tier: %w", err)
+	}
+	client.fetch = func(p PageID, a Actor) { server.Read(p, a) }
+	client.writeBack = func(p PageID, a Actor) { server.Write(p, a) }
+	return &Tiered{client: client, server: server}, nil
+}
+
+// Client returns the client-side cache. Simulated page accesses go
+// through it; server traffic follows automatically.
+func (t *Tiered) Client() *Buffer { return t.client }
+
+// Server returns the server-side buffer (for its disk statistics).
+func (t *Tiered) Server() *Buffer { return t.server }
+
+// NetworkStats reports page transfers between client and server.
+func (t *Tiered) NetworkStats() Stats { return t.client.Stats() }
+
+// DiskStats reports the server's disk operations.
+func (t *Tiered) DiskStats() Stats { return t.server.Stats() }
+
+// ResetStats zeroes both tiers' counters.
+func (t *Tiered) ResetStats() {
+	t.client.ResetStats()
+	t.server.ResetStats()
+}

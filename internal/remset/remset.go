@@ -1,0 +1,297 @@
+// Package remset maintains the inter-partition pointer bookkeeping that
+// partitioned garbage collection requires (Section 4.1 of the paper):
+//
+//   - the remembered set of each partition P — the locations of all
+//     pointers into P from objects outside P, which serve as additional
+//     roots when P is collected; and
+//   - the out-of-partition set of each partition P — the P-resident
+//     objects holding pointers out of P, so that when such an object dies
+//     its entries can be removed from the remembered sets of the
+//     partitions it pointed into (otherwise later collections would
+//     unnecessarily preserve objects pointed to only by garbage).
+//
+// Like the paper's implementation, these are auxiliary in-memory
+// structures and contribute no page I/O.
+package remset
+
+import (
+	"fmt"
+	"sort"
+
+	"odbgc/internal/heap"
+)
+
+// Entry names one pointer location: field Field of object Src.
+type Entry struct {
+	Src   heap.OID
+	Field int
+}
+
+// Table holds the remembered sets and out-of-partition sets for a heap.
+type Table struct {
+	h *heap.Heap
+	// in[P] maps each inter-partition pointer location whose value points
+	// into P to the target OID it held when recorded.
+	in map[heap.PartitionID]map[Entry]heap.OID
+	// out[P] is the set of P-resident objects with at least one
+	// inter-partition out-pointer.
+	out map[heap.PartitionID]map[heap.OID]struct{}
+	// outCount tracks, per object, how many of its fields currently hold
+	// inter-partition pointers, so out-set membership stays precise.
+	outCount map[heap.OID]int
+}
+
+// New returns an empty table over h.
+func New(h *heap.Heap) *Table {
+	return &Table{
+		h:        h,
+		in:       make(map[heap.PartitionID]map[Entry]heap.OID),
+		out:      make(map[heap.PartitionID]map[heap.OID]struct{}),
+		outCount: make(map[heap.OID]int),
+	}
+}
+
+// PointerWrite records the effect of storing new into field f of src,
+// whose previous value was old. It must be called at the write barrier for
+// every pointer store, after the heap mutation. Either OID may be nil.
+func (t *Table) PointerWrite(src heap.OID, f int, old, new heap.OID) {
+	srcPart := t.h.Get(src).Partition
+	if old != heap.NilOID {
+		if oldObj := t.h.Get(old); oldObj != nil && oldObj.Partition != srcPart {
+			t.remove(oldObj.Partition, Entry{src, f}, srcPart)
+		}
+	}
+	if new != heap.NilOID {
+		if newObj := t.h.Get(new); newObj != nil && newObj.Partition != srcPart {
+			t.add(newObj.Partition, Entry{src, f}, new, srcPart)
+		}
+	}
+}
+
+func (t *Table) add(target heap.PartitionID, e Entry, to heap.OID, srcPart heap.PartitionID) {
+	set := t.in[target]
+	if set == nil {
+		set = make(map[Entry]heap.OID)
+		t.in[target] = set
+	}
+	if _, dup := set[e]; dup {
+		panic(fmt.Sprintf("remset: duplicate entry %+v into partition %d", e, target))
+	}
+	set[e] = to
+	t.outCount[e.Src]++
+	outs := t.out[srcPart]
+	if outs == nil {
+		outs = make(map[heap.OID]struct{})
+		t.out[srcPart] = outs
+	}
+	outs[e.Src] = struct{}{}
+}
+
+func (t *Table) remove(target heap.PartitionID, e Entry, srcPart heap.PartitionID) {
+	set := t.in[target]
+	if _, ok := set[e]; !ok {
+		panic(fmt.Sprintf("remset: removing absent entry %+v from partition %d", e, target))
+	}
+	delete(set, e)
+	t.outCount[e.Src]--
+	switch n := t.outCount[e.Src]; {
+	case n < 0:
+		panic(fmt.Sprintf("remset: negative out-count for %d", e.Src))
+	case n == 0:
+		delete(t.outCount, e.Src)
+		delete(t.out[srcPart], e.Src)
+	}
+}
+
+// PurgeDead removes every remembered-set entry whose source is the given
+// object, which the collector has determined to be garbage. It must run
+// while the object's fields are still intact, before heap.Discard.
+func (t *Table) PurgeDead(oid heap.OID) { t.PurgeDeadEvacuating(oid, heap.NoPartition) }
+
+// PurgeDeadEvacuating is PurgeDead during an evacuation of the dead
+// object's partition into dest: pointers from the dead object to objects
+// already moved into dest were intra-partition before the move (dest was
+// empty), so they have no remembered-set entries and are skipped.
+func (t *Table) PurgeDeadEvacuating(oid heap.OID, dest heap.PartitionID) {
+	obj := t.h.Get(oid)
+	if obj == nil {
+		panic(fmt.Sprintf("remset: PurgeDead(%d): no such object", oid))
+	}
+	if t.outCount[oid] == 0 {
+		return
+	}
+	for f, target := range obj.Fields {
+		if target == heap.NilOID {
+			continue
+		}
+		tObj := t.h.Get(target)
+		if tObj == nil || tObj.Partition == obj.Partition {
+			continue
+		}
+		if dest != heap.NoPartition && tObj.Partition == dest {
+			continue // was intra-partition before the target moved
+		}
+		t.remove(tObj.Partition, Entry{oid, f}, obj.Partition)
+	}
+	if n := t.outCount[oid]; n != 0 {
+		panic(fmt.Sprintf("remset: PurgeDead(%d) left out-count %d", oid, n))
+	}
+}
+
+// Moved records that a (surviving) object was relocated from partition
+// `from` to partition `to` during collection: its out-set membership
+// follows it. Its remembered-set entries are keyed by OID and need no
+// update here; Rekey handles the entries pointing *into* the collected
+// partition.
+func (t *Table) Moved(oid heap.OID, from, to heap.PartitionID) {
+	if t.outCount[oid] == 0 {
+		return
+	}
+	delete(t.out[from], oid)
+	outs := t.out[to]
+	if outs == nil {
+		outs = make(map[heap.OID]struct{})
+		t.out[to] = outs
+	}
+	outs[oid] = struct{}{}
+}
+
+// Rekey transfers the remembered set of an evacuated partition to the
+// destination partition: every recorded pointer into victim now points
+// into dest, because every remembered-set target is a collection root and
+// was therefore copied. It panics if dest already has entries of its own,
+// which would mean dest was not empty.
+func (t *Table) Rekey(victim, dest heap.PartitionID) {
+	if len(t.in[dest]) != 0 {
+		panic(fmt.Sprintf("remset: Rekey into non-empty partition %d", dest))
+	}
+	if set := t.in[victim]; len(set) != 0 {
+		t.in[dest] = set
+	}
+	delete(t.in, victim)
+	if len(t.out[victim]) != 0 {
+		panic(fmt.Sprintf("remset: Rekey(%d): out-set not drained", victim))
+	}
+}
+
+// RootsInto calls fn for every remembered pointer into partition p, in a
+// deterministic order (sorted by source OID, then field). The target OID
+// passed to fn is the pointer's recorded value.
+func (t *Table) RootsInto(p heap.PartitionID, fn func(e Entry, target heap.OID)) {
+	set := t.in[p]
+	if len(set) == 0 {
+		return
+	}
+	entries := make([]Entry, 0, len(set))
+	for e := range set {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Src != entries[j].Src {
+			return entries[i].Src < entries[j].Src
+		}
+		return entries[i].Field < entries[j].Field
+	})
+	for _, e := range entries {
+		fn(e, set[e])
+	}
+}
+
+// InCount reports the number of remembered pointers into partition p.
+func (t *Table) InCount(p heap.PartitionID) int { return len(t.in[p]) }
+
+// OutSet calls fn for every object in partition p holding inter-partition
+// out-pointers, in ascending OID order.
+func (t *Table) OutSet(p heap.PartitionID, fn func(heap.OID)) {
+	set := t.out[p]
+	if len(set) == 0 {
+		return
+	}
+	oids := make([]heap.OID, 0, len(set))
+	for oid := range set {
+		oids = append(oids, oid)
+	}
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	for _, oid := range oids {
+		fn(oid)
+	}
+}
+
+// OutCount reports how many of oid's fields hold inter-partition pointers.
+func (t *Table) OutCount(oid heap.OID) int { return t.outCount[oid] }
+
+// Audit verifies the table against a brute-force scan of the heap,
+// returning a description of the first inconsistency found, or "" if the
+// table is exact. Tests and the simulator's paranoid mode use it.
+func (t *Table) Audit() string {
+	type rec struct {
+		target  heap.OID
+		srcPart heap.PartitionID
+	}
+	want := make(map[heap.PartitionID]map[Entry]rec)
+	wantOut := make(map[heap.PartitionID]map[heap.OID]int)
+	for pid := 0; pid < t.h.NumPartitions(); pid++ {
+		p := t.h.Partition(heap.PartitionID(pid))
+		p.Objects(func(oid heap.OID) {
+			obj := t.h.Get(oid)
+			for f, target := range obj.Fields {
+				if target == heap.NilOID {
+					continue
+				}
+				tObj := t.h.Get(target)
+				if tObj == nil || tObj.Partition == obj.Partition {
+					continue
+				}
+				set := want[tObj.Partition]
+				if set == nil {
+					set = make(map[Entry]rec)
+					want[tObj.Partition] = set
+				}
+				set[Entry{oid, f}] = rec{target, obj.Partition}
+				outs := wantOut[obj.Partition]
+				if outs == nil {
+					outs = make(map[heap.OID]int)
+					wantOut[obj.Partition] = outs
+				}
+				outs[oid]++
+			}
+		})
+	}
+
+	for pid, set := range want {
+		for e, r := range set {
+			got, ok := t.in[pid][e]
+			if !ok {
+				return fmt.Sprintf("missing entry %+v into partition %d", e, pid)
+			}
+			if got != r.target {
+				return fmt.Sprintf("entry %+v records target %d, heap has %d", e, got, r.target)
+			}
+		}
+	}
+	for pid, set := range t.in {
+		for e := range set {
+			if _, ok := want[pid][e]; !ok {
+				return fmt.Sprintf("stale entry %+v into partition %d", e, pid)
+			}
+		}
+	}
+	for pid, outs := range wantOut {
+		for oid, n := range outs {
+			if _, ok := t.out[pid][oid]; !ok {
+				return fmt.Sprintf("object %d missing from out-set of partition %d", oid, pid)
+			}
+			if t.outCount[oid] != n {
+				return fmt.Sprintf("object %d out-count %d, want %d", oid, t.outCount[oid], n)
+			}
+		}
+	}
+	for pid, outs := range t.out {
+		for oid := range outs {
+			if wantOut[pid][oid] == 0 {
+				return fmt.Sprintf("stale out-set member %d in partition %d", oid, pid)
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,316 @@
+package remset
+
+import (
+	"testing"
+
+	"odbgc/internal/heap"
+)
+
+// twoPartitionHeap allocates objects 1..n of 100 bytes with 4 fields each;
+// objects alternate... actually objects bump into partition 0 until full.
+// For controlled placement, it fills partition 0 and forces later objects
+// into a new partition.
+func buildHeap(t *testing.T) (*heap.Heap, heap.OID, heap.OID) {
+	t.Helper()
+	cfg := heap.Config{PageSize: 8192, PartitionPages: 1, ReserveEmpty: true}
+	h, err := heap.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Object 1 fills partition 0 almost entirely; object 2 is forced into
+	// a new partition.
+	if _, _, err := h.Alloc(1, cfg.PartitionBytes()-100, 4, heap.NilOID); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := h.Alloc(2, 200, 4, heap.NilOID); err != nil {
+		t.Fatal(err)
+	}
+	if h.Get(1).Partition == h.Get(2).Partition {
+		t.Fatal("setup: objects 1 and 2 must be in different partitions")
+	}
+	return h, 1, 2
+}
+
+func write(t *testing.T, h *heap.Heap, tab *Table, src heap.OID, f int, target heap.OID) {
+	t.Helper()
+	old := h.WriteField(src, f, target)
+	tab.PointerWrite(src, f, old, target)
+}
+
+func TestInterPartitionStoreRecorded(t *testing.T) {
+	h, a, b := buildHeap(t)
+	tab := New(h)
+	write(t, h, tab, a, 0, b)
+
+	pb := h.Get(b).Partition
+	if got := tab.InCount(pb); got != 1 {
+		t.Fatalf("InCount = %d, want 1", got)
+	}
+	var entries []Entry
+	var targets []heap.OID
+	tab.RootsInto(pb, func(e Entry, target heap.OID) {
+		entries = append(entries, e)
+		targets = append(targets, target)
+	})
+	if len(entries) != 1 || entries[0] != (Entry{a, 0}) || targets[0] != b {
+		t.Fatalf("roots = %v -> %v", entries, targets)
+	}
+	if tab.OutCount(a) != 1 {
+		t.Fatalf("OutCount(a) = %d, want 1", tab.OutCount(a))
+	}
+	if msg := tab.Audit(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestIntraPartitionStoreIgnored(t *testing.T) {
+	h, a, _ := buildHeap(t)
+	// Allocate a sibling next to object 2 so we have two co-resident
+	// objects; object 1 fills partition 0, so 3 lands with 2.
+	if _, _, err := h.Alloc(3, 100, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	if h.Get(3).Partition != h.Get(2).Partition {
+		t.Fatal("setup: 2 and 3 must share a partition")
+	}
+	tab := New(h)
+	write(t, h, tab, 2, 0, 3)
+	if got := tab.InCount(h.Get(3).Partition); got != 0 {
+		t.Fatalf("intra-partition store recorded: InCount = %d", got)
+	}
+	if tab.OutCount(2) != 0 {
+		t.Fatal("intra-partition store counted as out-pointer")
+	}
+	_ = a
+	if msg := tab.Audit(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestOverwriteRemovesOldEntry(t *testing.T) {
+	h, a, b := buildHeap(t)
+	tab := New(h)
+	write(t, h, tab, a, 0, b)
+	write(t, h, tab, a, 0, heap.NilOID)
+	if got := tab.InCount(h.Get(b).Partition); got != 0 {
+		t.Fatalf("InCount after nil overwrite = %d, want 0", got)
+	}
+	if tab.OutCount(a) != 0 {
+		t.Fatal("out-count not decremented")
+	}
+	if msg := tab.Audit(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestOverwriteRetargetsEntry(t *testing.T) {
+	h, a, b := buildHeap(t)
+	// A third object sharing b's partition.
+	if _, _, err := h.Alloc(3, 100, 4, b); err != nil {
+		t.Fatal(err)
+	}
+	tab := New(h)
+	write(t, h, tab, a, 0, b)
+	write(t, h, tab, a, 0, 3)
+	pb := h.Get(b).Partition
+	if got := tab.InCount(pb); got != 1 {
+		t.Fatalf("InCount = %d, want 1", got)
+	}
+	tab.RootsInto(pb, func(e Entry, target heap.OID) {
+		if target != 3 {
+			t.Fatalf("target = %d, want 3", target)
+		}
+	})
+	if msg := tab.Audit(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestTwoFieldsTwoEntries(t *testing.T) {
+	h, a, b := buildHeap(t)
+	tab := New(h)
+	write(t, h, tab, a, 0, b)
+	write(t, h, tab, a, 1, b)
+	pb := h.Get(b).Partition
+	if got := tab.InCount(pb); got != 2 {
+		t.Fatalf("InCount = %d, want 2", got)
+	}
+	if tab.OutCount(a) != 2 {
+		t.Fatalf("OutCount = %d, want 2", tab.OutCount(a))
+	}
+	var fields []int
+	tab.RootsInto(pb, func(e Entry, _ heap.OID) { fields = append(fields, e.Field) })
+	if len(fields) != 2 || fields[0] != 0 || fields[1] != 1 {
+		t.Fatalf("fields enumerated %v, want sorted [0 1]", fields)
+	}
+}
+
+func TestPurgeDeadRemovesEntries(t *testing.T) {
+	h, a, b := buildHeap(t)
+	tab := New(h)
+	write(t, h, tab, a, 0, b)
+	write(t, h, tab, a, 2, b)
+	tab.PurgeDead(a)
+	if got := tab.InCount(h.Get(b).Partition); got != 0 {
+		t.Fatalf("InCount after purge = %d, want 0", got)
+	}
+	var outs []heap.OID
+	tab.OutSet(h.Get(a).Partition, func(oid heap.OID) { outs = append(outs, oid) })
+	if len(outs) != 0 {
+		t.Fatalf("out-set still holds %v", outs)
+	}
+}
+
+func TestPurgeDeadNoOutPointersIsNoop(t *testing.T) {
+	h, a, _ := buildHeap(t)
+	tab := New(h)
+	tab.PurgeDead(a) // must not panic or mutate anything
+	if msg := tab.Audit(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestMovedFollowsOutSet(t *testing.T) {
+	h, a, b := buildHeap(t)
+	tab := New(h)
+	write(t, h, tab, a, 0, b)
+	from := h.Get(a).Partition
+	dest := h.EmptyPartition()
+	h.Move(a, dest)
+	tab.Moved(a, from, dest)
+
+	var fromOuts, destOuts []heap.OID
+	tab.OutSet(from, func(oid heap.OID) { fromOuts = append(fromOuts, oid) })
+	tab.OutSet(dest, func(oid heap.OID) { destOuts = append(destOuts, oid) })
+	if len(fromOuts) != 0 || len(destOuts) != 1 || destOuts[0] != a {
+		t.Fatalf("out-sets after move: from=%v dest=%v", fromOuts, destOuts)
+	}
+	if msg := tab.Audit(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestRekeyTransfersRememberedSet(t *testing.T) {
+	h, a, b := buildHeap(t)
+	tab := New(h)
+	write(t, h, tab, a, 0, b)
+	victim := h.Get(b).Partition
+	dest := h.EmptyPartition()
+
+	h.Move(b, dest)
+	tab.Rekey(victim, dest)
+
+	if got := tab.InCount(victim); got != 0 {
+		t.Fatalf("victim InCount = %d, want 0", got)
+	}
+	if got := tab.InCount(dest); got != 1 {
+		t.Fatalf("dest InCount = %d, want 1", got)
+	}
+	if msg := tab.Audit(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestRekeyIntoNonEmptyPanics(t *testing.T) {
+	h, a, b := buildHeap(t)
+	tab := New(h)
+	write(t, h, tab, a, 0, b)
+	pa, pb := h.Get(a).Partition, h.Get(b).Partition
+	defer func() {
+		if recover() == nil {
+			t.Error("Rekey into partition with entries did not panic")
+		}
+	}()
+	tab.Rekey(pa, pb) // pb already has an in-entry
+}
+
+func TestDuplicateAddPanics(t *testing.T) {
+	h, a, b := buildHeap(t)
+	tab := New(h)
+	write(t, h, tab, a, 0, b)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate entry did not panic")
+		}
+	}()
+	// Replaying the same store without the old value simulates a barrier
+	// bug: the entry already exists.
+	tab.PointerWrite(a, 0, heap.NilOID, b)
+}
+
+func TestRekeyWithUndrainedOutSetPanics(t *testing.T) {
+	h, a, b := buildHeap(t)
+	tab := New(h)
+	write(t, h, tab, a, 0, b)
+	// a still has an out-pointer registered in its partition's out-set;
+	// rekeying that partition without draining must panic.
+	defer func() {
+		if recover() == nil {
+			t.Error("Rekey with undrained out-set did not panic")
+		}
+	}()
+	// Make the source partition's remset empty so we reach the out-set
+	// check: rekey a's partition (no in-entries) while a's out-set entry
+	// remains.
+	tab.Rekey(h.Get(a).Partition, h.EmptyPartition())
+}
+
+func TestPurgeDeadMissingObjectPanics(t *testing.T) {
+	h, _, _ := buildHeap(t)
+	tab := New(h)
+	defer func() {
+		if recover() == nil {
+			t.Error("PurgeDead of missing object did not panic")
+		}
+	}()
+	tab.PurgeDead(404)
+}
+
+func TestMovedWithoutOutPointersIsNoop(t *testing.T) {
+	h, a, _ := buildHeap(t)
+	tab := New(h)
+	tab.Moved(a, h.Get(a).Partition, h.EmptyPartition()) // no out-pointers
+	if msg := tab.Audit(); msg != "" {
+		t.Fatal(msg)
+	}
+}
+
+func TestOutSetEnumerationSorted(t *testing.T) {
+	h, a, b := buildHeap(t)
+	// A second source in a's partition pointing into b's.
+	if _, _, err := h.Alloc(3, 50, 4, a); err != nil {
+		t.Fatal(err)
+	}
+	if h.Get(3).Partition != h.Get(a).Partition {
+		t.Skip("setup: could not co-locate third object")
+	}
+	tab := New(h)
+	write(t, h, tab, 3, 0, b)
+	write(t, h, tab, a, 0, b)
+	var got []heap.OID
+	tab.OutSet(h.Get(a).Partition, func(oid heap.OID) { got = append(got, oid) })
+	if len(got) != 2 || got[0] != a || got[1] != 3 {
+		t.Fatalf("OutSet order = %v, want [1 3]", got)
+	}
+}
+
+func TestAuditDetectsMissingEntry(t *testing.T) {
+	h, a, b := buildHeap(t)
+	tab := New(h)
+	// Mutate the heap without telling the table.
+	h.WriteField(a, 0, b)
+	if msg := tab.Audit(); msg == "" {
+		t.Fatal("Audit missed an unrecorded inter-partition pointer")
+	}
+}
+
+func TestAuditDetectsStaleEntry(t *testing.T) {
+	h, a, b := buildHeap(t)
+	tab := New(h)
+	write(t, h, tab, a, 0, b)
+	// Clear the field without telling the table.
+	h.WriteField(a, 0, heap.NilOID)
+	if msg := tab.Audit(); msg == "" {
+		t.Fatal("Audit missed a stale entry")
+	}
+}

@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// DiskModel converts counted page I/Os into estimated elapsed disk time —
+// the "more detailed cost model" Section 4.2 sketches (head seek,
+// rotational delay, transfer time). The simulation's results are counted
+// I/Os; this model is presentation-layer arithmetic over them, provided
+// so throughput can also be read in seconds.
+type DiskModel struct {
+	// Seek is the average head seek time per operation.
+	Seek time.Duration
+	// Rotation is the average rotational delay (half a revolution).
+	Rotation time.Duration
+	// Transfer is the time to move one page.
+	Transfer time.Duration
+}
+
+// DefaultDiskModel returns parameters typical of the early-90s disks the
+// paper's DECstation would have used: 12 ms average seek, 5.5 ms average
+// rotational latency (5400 RPM), ~2 ms to transfer an 8 KB page.
+func DefaultDiskModel() DiskModel {
+	return DiskModel{
+		Seek:     12 * time.Millisecond,
+		Rotation: 5500 * time.Microsecond,
+		Transfer: 2 * time.Millisecond,
+	}
+}
+
+// ModernDiskModel returns parameters for a 7200 RPM SATA disk, for
+// what-if comparisons: 8.5 ms seek, 4.16 ms rotational latency, ~0.06 ms
+// per 8 KB page.
+func ModernDiskModel() DiskModel {
+	return DiskModel{
+		Seek:     8500 * time.Microsecond,
+		Rotation: 4160 * time.Microsecond,
+		Transfer: 60 * time.Microsecond,
+	}
+}
+
+// Validate reports the first bad parameter.
+func (m DiskModel) Validate() error {
+	if m.Seek < 0 || m.Rotation < 0 || m.Transfer <= 0 {
+		return fmt.Errorf("sim: disk model %+v has non-positive transfer or negative latency", m)
+	}
+	return nil
+}
+
+// PerOp returns the modeled time for one page operation.
+func (m DiskModel) PerOp() time.Duration { return m.Seek + m.Rotation + m.Transfer }
+
+// Estimate returns the modeled elapsed disk time for n page operations.
+func (m DiskModel) Estimate(n int64) time.Duration {
+	return time.Duration(n) * m.PerOp()
+}
+
+// EstimateResult splits a run's modeled disk time into application and
+// collector components.
+func (m DiskModel) EstimateResult(r Result) (app, gc, total time.Duration) {
+	app = m.Estimate(r.AppIOs)
+	gc = m.Estimate(r.GCIOs)
+	return app, gc, app + gc
+}

@@ -1,0 +1,461 @@
+// Package sim is the trace-driven simulator (Section 4.2): it applies an
+// application event stream to the simulated database through the write
+// barrier, activates the collector when the trigger fires, and measures
+// what the paper measures — page I/O split between application and
+// collector, storage growth, garbage reclaimed, and time-varying series.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"odbgc/internal/core"
+	"odbgc/internal/gc"
+	"odbgc/internal/heap"
+	"odbgc/internal/pagebuf"
+	"odbgc/internal/remset"
+	"odbgc/internal/stats"
+	"odbgc/internal/trace"
+)
+
+// Config fixes every simulator policy decision except the one under study
+// (partition selection), mirroring Section 4.1.
+type Config struct {
+	// Policy is the partition selection policy name (see core.Names).
+	Policy string
+	// PolicyImpl, when non-nil, is used instead of looking Policy up in
+	// the registry — the hook for evaluating custom selection policies
+	// against the paper's. Policy may then be any descriptive name.
+	PolicyImpl core.Policy
+	// Seed drives the simulator's own randomness (only the Random policy
+	// uses it). It is independent of the workload seed.
+	Seed int64
+	// Heap is the database geometry. Heap.ReserveEmpty is forced to match
+	// the policy: NoCollection runs without a reserved empty partition.
+	Heap heap.Config
+	// BufferPages sizes the I/O buffer; 0 means "equal to one partition",
+	// the paper's choice.
+	BufferPages int
+	// Replacement selects the buffer replacement algorithm. The zero
+	// value is LRU (the paper's choice); pagebuf.Clock is provided as an
+	// ablation.
+	Replacement pagebuf.Replacement
+	// Traversal selects the collection copy order: gc.BreadthFirst (the
+	// paper's choice, the zero value) or gc.PageFirst (the Matthews-style
+	// page-minimizing traversal from the paper's related work).
+	Traversal gc.Traversal
+	// ClientCachePages, when positive, switches to the client/server
+	// architecture of the paper's related work (Yong/Naughton/Yu): a
+	// client page cache of this size sits in front of the server buffer
+	// (BufferPages). AppIOs/GCIOs then count client–server page
+	// transfers, and the Disk* result fields count the server's disk
+	// operations. Requires the LRU replacement (the default).
+	ClientCachePages int
+	// TriggerOverwrites activates the collector every N pointer
+	// overwrites (the paper: 150–300).
+	TriggerOverwrites int64
+	// TriggerAllocationBytes, when positive, replaces the overwrite
+	// trigger with the alternative "when to collect" policy from the
+	// paper's Table 1: collect every N allocated bytes.
+	TriggerAllocationBytes int64
+	// SampleEvery records a time-series sample every N application events
+	// (0 disables sampling). Samples power Figures 4 and 5.
+	SampleEvery int64
+	// Paranoid audits the remembered sets after every collection. Orders
+	// of magnitude slower; for tests.
+	Paranoid bool
+	// CollectPartitions is how many partitions one activation collects
+	// (the paper's algorithms collect exactly 1; >1 is the multi-partition
+	// extension). 0 means 1.
+	CollectPartitions int
+	// GlobalSweepEvery runs a global marking pass (gc.Collector.GlobalSweep)
+	// after every N collections, purging remembered-set entries whose
+	// sources are dead so cross-partition cyclic garbage becomes
+	// collectable — the paper's Section 6.5 future work. 0 disables it.
+	GlobalSweepEvery int
+	// BufferedBarrier maintains the remembered sets through a sequential
+	// store buffer drained at collection time instead of eagerly at each
+	// store (the paper's Table 1 alternative barrier implementation).
+	// Results are identical under the I/O cost model.
+	BufferedBarrier bool
+	// WarmStart discards the build phase from the measurement: counters,
+	// I/O statistics, high-water marks, and time series restart when the
+	// workload's initial forest is complete. The paper measures cold
+	// starts and notes they only lessen the differentiation among
+	// policies; this option quantifies that remark.
+	WarmStart bool
+}
+
+// DefaultConfig returns the simulator configuration for the paper's
+// Tables 2–4: 48-page partitions, buffer equal to a partition, collection
+// every 200 overwrites.
+func DefaultConfig(policy string) Config {
+	return Config{
+		Policy:            policy,
+		Seed:              1,
+		Heap:              heap.DefaultConfig(),
+		TriggerOverwrites: 280,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Policy == "" {
+		return fmt.Errorf("sim: no policy configured")
+	}
+	if c.TriggerOverwrites <= 0 && c.TriggerAllocationBytes <= 0 {
+		return fmt.Errorf("sim: a positive TriggerOverwrites or TriggerAllocationBytes is required")
+	}
+	if c.BufferPages < 0 {
+		return fmt.Errorf("sim: BufferPages %d negative", c.BufferPages)
+	}
+	if c.SampleEvery < 0 {
+		return fmt.Errorf("sim: SampleEvery %d negative", c.SampleEvery)
+	}
+	if c.CollectPartitions < 0 {
+		return fmt.Errorf("sim: CollectPartitions %d negative", c.CollectPartitions)
+	}
+	if c.GlobalSweepEvery < 0 {
+		return fmt.Errorf("sim: GlobalSweepEvery %d negative", c.GlobalSweepEvery)
+	}
+	if c.ClientCachePages < 0 {
+		return fmt.Errorf("sim: ClientCachePages %d negative", c.ClientCachePages)
+	}
+	if c.ClientCachePages > 0 && c.Replacement != pagebuf.LRU {
+		return fmt.Errorf("sim: client/server mode supports only the LRU replacement")
+	}
+	return nil
+}
+
+// Sim wires the substrates together and consumes a trace. It implements
+// trace.Sink, so a workload generator or trace reader can stream into it.
+type Sim struct {
+	cfg Config
+
+	h      *heap.Heap
+	buf    *pagebuf.Buffer
+	tiered *pagebuf.Tiered // non-nil in client/server mode
+	rem    *remset.Table
+	pol    core.Policy
+	mut    *gc.Mutator
+	col    *gc.Collector
+	trig   gc.Trigger
+	oracle *heap.Oracle
+
+	events                int64
+	lastOverwrite         int64
+	maxOccupied           int64
+	maxFootprint          int64
+	collectionsSinceSweep int
+	globalSweeps          int64
+	series                *stats.Series
+	finished              bool
+
+	// Measurement window baselines, nonzero after ResetMeasurement.
+	occupiedAtReset int64
+	allocAtReset    int64
+}
+
+// New builds a simulator from cfg.
+func New(cfg Config) (*Sim, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	hCfg := cfg.Heap
+	hCfg.ReserveEmpty = cfg.Policy != core.NameNoCollection
+	h, err := heap.New(hCfg)
+	if err != nil {
+		return nil, err
+	}
+	bufPages := cfg.BufferPages
+	if bufPages == 0 {
+		bufPages = hCfg.PartitionPages
+	}
+	var (
+		buf    *pagebuf.Buffer
+		tiered *pagebuf.Tiered
+	)
+	if cfg.ClientCachePages > 0 {
+		tiered, err = pagebuf.NewTiered(cfg.ClientCachePages, bufPages)
+		if err != nil {
+			return nil, err
+		}
+		buf = tiered.Client()
+	} else {
+		buf, err = pagebuf.NewWithReplacement(bufPages, cfg.Replacement)
+		if err != nil {
+			return nil, err
+		}
+	}
+	pol := cfg.PolicyImpl
+	if pol == nil {
+		pol, err = core.New(cfg.Policy, rand.New(rand.NewSource(cfg.Seed)))
+		if err != nil {
+			return nil, err
+		}
+	}
+	rem := remset.New(h)
+	oracle := heap.NewOracle(h)
+	env := &core.Env{Heap: h, Oracle: oracle, Rand: rand.New(rand.NewSource(cfg.Seed + 1))}
+	var trig gc.Trigger
+	if cfg.TriggerAllocationBytes > 0 {
+		trig, err = gc.NewAllocationTrigger(cfg.TriggerAllocationBytes)
+	} else {
+		trig, err = gc.NewOverwriteTrigger(cfg.TriggerOverwrites)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s := &Sim{
+		cfg:    cfg,
+		h:      h,
+		buf:    buf,
+		tiered: tiered,
+		rem:    rem,
+		pol:    pol,
+		mut:    gc.NewMutator(h, buf, rem, pol),
+		col:    gc.NewCollector(h, buf, rem, pol, env),
+		trig:   trig,
+		oracle: oracle,
+	}
+	s.col.SetParanoid(cfg.Paranoid)
+	s.col.SetTraversal(cfg.Traversal)
+	s.mut.SetBufferedBarrier(cfg.BufferedBarrier)
+	if cfg.SampleEvery > 0 {
+		s.series = stats.NewSeries("events",
+			"occupied_kb", "live_kb", "unreclaimed_garbage_kb", "footprint_kb")
+	}
+	return s, nil
+}
+
+// Heap exposes the simulated database (read-only use intended).
+func (s *Sim) Heap() *heap.Heap { return s.h }
+
+// Events reports the number of application events applied.
+func (s *Sim) Events() int64 { return s.events }
+
+// Emit applies one application event, implementing trace.Sink.
+func (s *Sim) Emit(e trace.Event) error {
+	if s.finished {
+		return fmt.Errorf("sim: Emit after Finish")
+	}
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	switch e.Kind {
+	case trace.KindCreate:
+		if err := s.mut.Alloc(e.OID, e.Size, e.NFields, e.Parent, e.ParentField); err != nil {
+			return err
+		}
+		s.trackStorage()
+		if s.trig.RecordAllocation(e.Size) {
+			s.collect()
+		}
+	case trace.KindRoot:
+		if err := s.mut.Root(e.OID); err != nil {
+			return err
+		}
+	case trace.KindRead:
+		if err := s.mut.Read(e.OID); err != nil {
+			return err
+		}
+	case trace.KindWrite:
+		if err := s.mut.Write(e.OID, e.Field, e.Target); err != nil {
+			return err
+		}
+		if n := s.mut.OverwritesSinceCollection(); n > s.lastOverwrite {
+			s.lastOverwrite = n
+			if s.trig.RecordOverwrite() {
+				s.collect()
+			}
+		}
+	case trace.KindModify:
+		if err := s.mut.Modify(e.OID); err != nil {
+			return err
+		}
+	}
+	s.events++
+	if s.series != nil && s.events%s.cfg.SampleEvery == 0 {
+		s.sample()
+	}
+	return nil
+}
+
+// collect runs one collector activation (possibly multi-partition under
+// the extension) and resets the trigger.
+func (s *Sim) collect() {
+	s.mut.DrainBarrier()
+	n := s.cfg.CollectPartitions
+	if n <= 0 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		res := s.col.Collect()
+		if !res.Collected {
+			break
+		}
+		s.collectionsSinceSweep++
+	}
+	if s.cfg.GlobalSweepEvery > 0 && s.collectionsSinceSweep >= s.cfg.GlobalSweepEvery {
+		s.collectionsSinceSweep = 0
+		s.col.GlobalSweep()
+		s.globalSweeps++
+	}
+	s.trig.Reset()
+	s.mut.ResetOverwrites()
+	s.lastOverwrite = 0
+}
+
+// ResetMeasurement restarts the measurement window at the current
+// database state: I/O statistics, mutator and collector counters, event
+// count, high-water marks, and the time series are cleared; the heap,
+// buffer contents, remembered sets, and policy state are untouched.
+func (s *Sim) ResetMeasurement() {
+	if s.tiered != nil {
+		s.tiered.ResetStats()
+	} else {
+		s.buf.ResetStats()
+	}
+	s.col.ResetStats()
+	s.mut.ResetStats()
+	s.events = 0
+	s.maxOccupied = s.h.OccupiedBytes()
+	s.maxFootprint = s.h.FootprintBytes()
+	s.occupiedAtReset = s.h.OccupiedBytes()
+	s.allocAtReset = s.h.TotalAllocatedBytes()
+	if s.series != nil {
+		s.series = stats.NewSeries(s.series.XName, s.series.Names...)
+	}
+}
+
+// trackStorage updates the storage high-water marks; occupied bytes only
+// grow at allocations, so Emit calls it on creates.
+func (s *Sim) trackStorage() {
+	if occ := s.h.OccupiedBytes(); occ > s.maxOccupied {
+		s.maxOccupied = occ
+	}
+	if fp := s.h.FootprintBytes(); fp > s.maxFootprint {
+		s.maxFootprint = fp
+	}
+}
+
+// sample appends one time-series row (sizes in KB).
+func (s *Sim) sample() {
+	occupied := s.h.OccupiedBytes()
+	live := s.oracle.LiveBytes()
+	s.series.Add(s.events,
+		float64(occupied)/1024,
+		float64(live)/1024,
+		float64(occupied-live)/1024,
+		float64(s.h.FootprintBytes())/1024,
+	)
+}
+
+// Result is everything the paper reports about one run.
+type Result struct {
+	// Policy and Events identify the run.
+	Policy string
+	Events int64
+
+	// AppIOs, GCIOs, TotalIOs are disk page operations (Table 2).
+	AppIOs, GCIOs, TotalIOs int64
+
+	// MaxOccupiedBytes is the storage high-water mark including
+	// unreclaimed garbage (Table 3); MaxFootprintBytes additionally counts
+	// partition-grain external fragmentation. NumPartitions is the final
+	// partition count.
+	MaxOccupiedBytes  int64
+	MaxFootprintBytes int64
+	NumPartitions     int
+
+	// Collections and reclamation totals (Table 4).
+	Collections      int64
+	ReclaimedBytes   int64
+	ReclaimedObjects int64
+	CopiedBytes      int64
+	CopiedObjects    int64
+
+	// ActualGarbageBytes is every byte of garbage available during the
+	// measurement window: garbage present at its start plus garbage
+	// created within it. For the default cold start this is simply
+	// allocated minus live-at-end — the paper's "Actual Garbage" row.
+	ActualGarbageBytes int64
+	// FinalLiveBytes and FinalOccupiedBytes describe the end state.
+	FinalLiveBytes     int64
+	FinalOccupiedBytes int64
+
+	// TotalAllocatedBytes is cumulative allocation (Figure 6's x-axis).
+	TotalAllocatedBytes int64
+
+	// Overwrites is the number of pointer overwrites the application
+	// performed.
+	Overwrites int64
+
+	// GlobalSweeps counts the global marking passes performed (the
+	// cross-partition cycle extension; 0 unless GlobalSweepEvery is set).
+	GlobalSweeps int64
+
+	// DiskAppIOs, DiskGCIOs, DiskTotalIOs count the server's disk
+	// operations in client/server mode (ClientCachePages > 0), where
+	// AppIOs/GCIOs count network page transfers instead. Zero in the
+	// paper's single-process mode.
+	DiskAppIOs, DiskGCIOs, DiskTotalIOs int64
+
+	// Series holds the time-varying samples when sampling was enabled.
+	Series *stats.Series
+}
+
+// FractionReclaimed returns reclaimed bytes over actual garbage bytes
+// (Table 4's "Fraction of Garbage Reclaimed").
+func (r Result) FractionReclaimed() float64 {
+	if r.ActualGarbageBytes == 0 {
+		return 0
+	}
+	return float64(r.ReclaimedBytes) / float64(r.ActualGarbageBytes)
+}
+
+// EfficiencyKBPerIO returns reclaimed kilobytes per collector I/O
+// (Table 4's "Collector Efficiency").
+func (r Result) EfficiencyKBPerIO() float64 {
+	if r.GCIOs == 0 {
+		return 0
+	}
+	return float64(r.ReclaimedBytes) / 1024 / float64(r.GCIOs)
+}
+
+// Finish computes the run's Result. The simulator cannot be used after.
+func (s *Sim) Finish() Result {
+	s.finished = true
+	s.trackStorage()
+	bufStats := s.buf.Stats()
+	colStats := s.col.Stats()
+	live := s.oracle.LiveBytes()
+	res := Result{
+		Policy:              s.cfg.Policy,
+		Events:              s.events,
+		AppIOs:              bufStats.App().IOs(),
+		GCIOs:               bufStats.GC().IOs(),
+		TotalIOs:            bufStats.TotalIOs(),
+		MaxOccupiedBytes:    s.maxOccupied,
+		MaxFootprintBytes:   s.maxFootprint,
+		NumPartitions:       s.h.NumPartitions(),
+		Collections:         colStats.Collections,
+		ReclaimedBytes:      colStats.ReclaimedBytes,
+		ReclaimedObjects:    colStats.ReclaimedObjects,
+		CopiedBytes:         colStats.CopiedBytes,
+		CopiedObjects:       colStats.CopiedObjects,
+		ActualGarbageBytes:  s.occupiedAtReset + (s.h.TotalAllocatedBytes() - s.allocAtReset) - live,
+		FinalLiveBytes:      live,
+		FinalOccupiedBytes:  s.h.OccupiedBytes(),
+		TotalAllocatedBytes: s.h.TotalAllocatedBytes(),
+		Overwrites:          s.mut.Stats().TotalOverwrites,
+		GlobalSweeps:        s.globalSweeps,
+		Series:              s.series,
+	}
+	if s.tiered != nil {
+		disk := s.tiered.DiskStats()
+		res.DiskAppIOs = disk.App().IOs()
+		res.DiskGCIOs = disk.GC().IOs()
+		res.DiskTotalIOs = disk.TotalIOs()
+	}
+	return res
+}

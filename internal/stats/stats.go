@@ -1,0 +1,70 @@
+// Package stats provides the small statistical and reporting toolkit the
+// experiment harness uses: mean/standard-deviation summaries over
+// multi-seed runs, time series for the paper's figures, aligned text
+// tables matching the paper's layout, and CSV output for plotting.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Summary describes a sample of observations.
+type Summary struct {
+	N    int
+	Mean float64
+	// StdDev is the sample standard deviation (n−1 denominator), matching
+	// how the paper reports run-to-run variation across its 10 seeds.
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero
+// Summary; a single observation has zero standard deviation.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = math.Inf(1), math.Inf(-1)
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// SummarizeInts is Summarize over integer observations.
+func SummarizeInts(xs []int64) Summary {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Summarize(fs)
+}
+
+// Ratio returns s.Mean divided by base, the paper's "Relative" columns
+// (normalized to MostGarbage = 1). It returns NaN for a zero base.
+func (s Summary) Ratio(base float64) float64 {
+	if base == 0 {
+		return math.NaN()
+	}
+	return s.Mean / base
+}
+
+// String formats the summary as "mean ± stddev".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.1f ± %.1f", s.Mean, s.StdDev)
+}

@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"odbgc/internal/heap"
+)
+
+// failingWriter errors after n successful writes.
+type failingWriter struct {
+	n int
+}
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.n--
+	return len(p), nil
+}
+
+func TestWriterPropagatesHeaderError(t *testing.T) {
+	w := NewWriter(&failingWriter{n: 0})
+	// The header write is buffered; the error surfaces at Flush.
+	if err := w.Flush(); err == nil {
+		t.Fatal("header write error swallowed")
+	}
+}
+
+func TestWriterPropagatesFlushError(t *testing.T) {
+	w := NewWriter(&failingWriter{n: 0})
+	for i := 0; i < 10; i++ {
+		// Buffered writes succeed until the buffer spills or Flush runs.
+		_ = w.Emit(Event{Kind: KindRead, OID: 1})
+	}
+	if err := w.Flush(); err == nil {
+		t.Fatal("flush error swallowed")
+	}
+}
+
+func TestJSONLWriterPropagatesFlushError(t *testing.T) {
+	w := NewJSONLWriter(&failingWriter{n: 0})
+	_ = w.Emit(Event{Kind: KindRead, OID: 1})
+	if err := w.Flush(); err == nil {
+		t.Fatal("jsonl flush error swallowed")
+	}
+}
+
+// failingSink errors on the nth event.
+type failingSink struct {
+	after int
+}
+
+func (f *failingSink) Emit(Event) error {
+	if f.after <= 0 {
+		return errors.New("sink rejected event")
+	}
+	f.after--
+	return nil
+}
+
+func TestCopyPropagatesSinkError(t *testing.T) {
+	var buf strings.Builder
+	w := NewWriter(&buf)
+	for i := 0; i < 5; i++ {
+		if err := w.Emit(Event{Kind: KindRead, OID: heap.OID(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := Copy(&failingSink{after: 2}, NewReader(strings.NewReader(buf.String())))
+	if err == nil {
+		t.Fatal("sink error swallowed")
+	}
+	if n != 2 {
+		t.Fatalf("copied %d before failing, want 2", n)
+	}
+}

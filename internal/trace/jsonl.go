@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"odbgc/internal/heap"
+)
+
+// JSONL codec: one JSON object per line, for interchange with external
+// tooling (plotting, trace editors, other simulators). The binary codec
+// (codec.go) is ~10× smaller and is what cmd/tracegen writes; convert
+// between the two with trace.Copy.
+
+// jsonEvent is the wire form of an Event. Field names are short but
+// self-describing; zero-valued fields are omitted.
+type jsonEvent struct {
+	Kind        string `json:"k"`
+	OID         uint64 `json:"oid"`
+	Size        int64  `json:"size,omitempty"`
+	NFields     int    `json:"fields,omitempty"`
+	Parent      uint64 `json:"parent,omitempty"`
+	ParentField int    `json:"pfield,omitempty"`
+	Field       int    `json:"field,omitempty"`
+	Target      uint64 `json:"target,omitempty"`
+}
+
+// JSONLWriter encodes events as JSON Lines. It implements Sink.
+type JSONLWriter struct {
+	bw    *bufio.Writer
+	enc   *json.Encoder
+	count int64
+}
+
+// NewJSONLWriter returns a JSONL writer over w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	bw := bufio.NewWriter(w)
+	return &JSONLWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit encodes one event as a JSON line.
+func (w *JSONLWriter) Emit(e Event) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	je := jsonEvent{
+		Kind:        e.Kind.String(),
+		OID:         uint64(e.OID),
+		Size:        e.Size,
+		NFields:     e.NFields,
+		Parent:      uint64(e.Parent),
+		ParentField: e.ParentField,
+		Field:       e.Field,
+		Target:      uint64(e.Target),
+	}
+	if err := w.enc.Encode(je); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// Count reports events written.
+func (w *JSONLWriter) Count() int64 { return w.count }
+
+// Flush writes buffered lines to the underlying stream.
+func (w *JSONLWriter) Flush() error { return w.bw.Flush() }
+
+// JSONLReader decodes a JSON Lines trace.
+type JSONLReader struct {
+	dec   *json.Decoder
+	count int64
+}
+
+// NewJSONLReader returns a reader over r.
+func NewJSONLReader(r io.Reader) *JSONLReader {
+	return &JSONLReader{dec: json.NewDecoder(bufio.NewReader(r))}
+}
+
+// Next decodes the next event, returning io.EOF at a clean end.
+func (r *JSONLReader) Next() (Event, error) {
+	var je jsonEvent
+	if err := r.dec.Decode(&je); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Event{}, io.EOF
+		}
+		return Event{}, fmt.Errorf("trace: jsonl event %d: %w", r.count, err)
+	}
+	e := Event{
+		OID:         heap.OID(je.OID),
+		Size:        je.Size,
+		NFields:     je.NFields,
+		Parent:      heap.OID(je.Parent),
+		ParentField: je.ParentField,
+		Field:       je.Field,
+		Target:      heap.OID(je.Target),
+	}
+	switch je.Kind {
+	case "create":
+		e.Kind = KindCreate
+	case "root":
+		e.Kind = KindRoot
+	case "read":
+		e.Kind = KindRead
+	case "write":
+		e.Kind = KindWrite
+	case "modify":
+		e.Kind = KindModify
+	default:
+		return Event{}, fmt.Errorf("trace: jsonl event %d: unknown kind %q", r.count, je.Kind)
+	}
+	if err := e.Validate(); err != nil {
+		return Event{}, err
+	}
+	r.count++
+	return e, nil
+}
+
+// Count reports events decoded.
+func (r *JSONLReader) Count() int64 { return r.count }
+
+// CopyJSONL streams every event from r into sink.
+func CopyJSONL(sink Sink, r *JSONLReader) (int64, error) {
+	var n int64
+	for {
+		e, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := sink.Emit(e); err != nil {
+			return n, err
+		}
+		n++
+	}
+}

@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	events := sampleEvents()
+	for _, e := range events {
+		if err := w.Emit(e); err != nil {
+			t.Fatalf("Emit(%+v): %v", e, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != int64(len(events)) {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if got := strings.Count(buf.String(), "\n"); got != len(events) {
+		t.Fatalf("wrote %d lines, want %d", got, len(events))
+	}
+
+	r := NewJSONLReader(&buf)
+	for i, want := range events {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("Next #%d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("event %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestJSONLHumanReadable(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	if err := w.Emit(Event{Kind: KindWrite, OID: 7, Field: 1, Target: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.String()
+	for _, want := range []string{`"k":"write"`, `"oid":7`, `"field":1`, `"target":9`} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestJSONLRejectsInvalid(t *testing.T) {
+	w := NewJSONLWriter(io.Discard)
+	if err := w.Emit(Event{Kind: KindCreate, OID: 0, Size: 10}); err == nil {
+		t.Fatal("invalid event encoded")
+	}
+	r := NewJSONLReader(strings.NewReader(`{"k":"zap","oid":1}` + "\n"))
+	if _, err := r.Next(); err == nil {
+		t.Fatal("unknown kind decoded")
+	}
+	r2 := NewJSONLReader(strings.NewReader("not json\n"))
+	if _, err := r2.Next(); err == nil {
+		t.Fatal("garbage decoded")
+	}
+	// Structurally valid JSON but semantically invalid event.
+	r3 := NewJSONLReader(strings.NewReader(`{"k":"create","oid":1,"size":0}` + "\n"))
+	if _, err := r3.Next(); err == nil {
+		t.Fatal("invalid create decoded")
+	}
+}
+
+func TestCopyJSONLToBinary(t *testing.T) {
+	// Convert a JSONL trace to the binary format and back.
+	var jsonl bytes.Buffer
+	jw := NewJSONLWriter(&jsonl)
+	for _, e := range sampleEvents() {
+		if err := jw.Emit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	var bin bytes.Buffer
+	bw := NewWriter(&bin)
+	n, err := CopyJSONL(bw, NewJSONLReader(&jsonl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(sampleEvents())) {
+		t.Fatalf("copied %d", n)
+	}
+
+	br := NewReader(&bin)
+	for i, want := range sampleEvents() {
+		got, err := br.Next()
+		if err != nil {
+			t.Fatalf("binary Next #%d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("event %d = %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+func TestJSONLRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		events := make([]Event, int(n)+1)
+		for i := range events {
+			events[i] = randomEvent(rng)
+		}
+		var buf bytes.Buffer
+		w := NewJSONLWriter(&buf)
+		for _, e := range events {
+			if err := w.Emit(e); err != nil {
+				t.Fatalf("Emit: %v", err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r := NewJSONLReader(&buf)
+		for i, want := range events {
+			got, err := r.Next()
+			if err != nil {
+				t.Errorf("Next #%d: %v", i, err)
+				return false
+			}
+			if got != want {
+				t.Errorf("event %d: got %+v want %+v", i, got, want)
+				return false
+			}
+		}
+		_, err := r.Next()
+		return errors.Is(err, io.EOF)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

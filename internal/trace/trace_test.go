@@ -1,0 +1,253 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"odbgc/internal/heap"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{Kind: KindCreate, OID: 1, Size: 100, NFields: 4},
+		{Kind: KindRoot, OID: 1},
+		{Kind: KindCreate, OID: 2, Size: 65536, NFields: 0, Parent: 1, ParentField: 3},
+		{Kind: KindRead, OID: 2},
+		{Kind: KindWrite, OID: 1, Field: 0, Target: 2},
+		{Kind: KindWrite, OID: 1, Field: 0, Target: heap.NilOID},
+		{Kind: KindModify, OID: 2},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	events := sampleEvents()
+	for _, e := range events {
+		if err := w.Emit(e); err != nil {
+			t.Fatalf("Emit(%+v): %v", e, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != int64(len(events)) {
+		t.Fatalf("writer Count = %d, want %d", w.Count(), len(events))
+	}
+
+	r := NewReader(&buf)
+	for i, want := range events {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("Next #%d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("event %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("after end: err = %v, want io.EOF", err)
+	}
+	if r.Count() != int64(len(events)) {
+		t.Fatalf("reader Count = %d, want %d", r.Count(), len(events))
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte("not a trace file")))
+	if _, err := r.Next(); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestTruncatedHeader(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte("odb")))
+	if _, err := r.Next(); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestTruncatedEvent(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Emit(Event{Kind: KindCreate, OID: 300, Size: 100, NFields: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	r := NewReader(bytes.NewReader(data[:len(data)-1]))
+	if _, err := r.Next(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+func TestUnknownOpcode(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte(99)
+	r := NewReader(&buf)
+	if _, err := r.Next(); err == nil {
+		t.Fatal("unknown opcode decoded without error")
+	}
+}
+
+func TestEmitRejectsInvalidEvents(t *testing.T) {
+	bad := []Event{
+		{Kind: KindCreate, OID: 0, Size: 100},
+		{Kind: KindCreate, OID: 1, Size: 0},
+		{Kind: KindCreate, OID: 1, Size: -5},
+		{Kind: KindCreate, OID: 1, Size: 10, NFields: -1},
+		{Kind: KindRead, OID: 0},
+		{Kind: KindRoot, OID: 0},
+		{Kind: KindModify, OID: 0},
+		{Kind: KindWrite, OID: 0},
+		{Kind: KindWrite, OID: 1, Field: -1},
+		{Kind: Kind(0), OID: 1},
+		{Kind: Kind(42), OID: 1},
+	}
+	w := NewWriter(io.Discard)
+	for _, e := range bad {
+		if err := w.Emit(e); err == nil {
+			t.Errorf("Emit(%+v): want error", e)
+		}
+	}
+	if w.Count() != 0 {
+		t.Fatalf("invalid events counted: %d", w.Count())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindCreate: "create",
+		KindRoot:   "root",
+		KindRead:   "read",
+		KindWrite:  "write",
+		KindModify: "modify",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if Kind(77).String() != "Kind(77)" {
+		t.Error("unknown kind should format numerically")
+	}
+}
+
+type collectSink struct{ events []Event }
+
+func (c *collectSink) Emit(e Event) error {
+	c.events = append(c.events, e)
+	return nil
+}
+
+func TestCopy(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, e := range sampleEvents() {
+		if err := w.Emit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var sink collectSink
+	n, err := Copy(&sink, NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(sampleEvents())) || len(sink.events) != len(sampleEvents()) {
+		t.Fatalf("copied %d events, want %d", n, len(sampleEvents()))
+	}
+}
+
+// randomEvent builds a valid random event.
+func randomEvent(rng *rand.Rand) Event {
+	switch Kind(rng.Intn(5) + 1) {
+	case KindCreate:
+		e := Event{
+			Kind:    KindCreate,
+			OID:     heap.OID(rng.Uint64()%1e9 + 1),
+			Size:    int64(rng.Intn(1<<20)) + 1,
+			NFields: rng.Intn(16),
+		}
+		if rng.Intn(2) == 0 {
+			e.Parent = heap.OID(rng.Uint64()%1e9 + 1)
+			e.ParentField = rng.Intn(16)
+		}
+		return e
+	case KindRoot:
+		return Event{Kind: KindRoot, OID: heap.OID(rng.Uint64()%1e9 + 1)}
+	case KindRead:
+		return Event{Kind: KindRead, OID: heap.OID(rng.Uint64()%1e9 + 1)}
+	case KindModify:
+		return Event{Kind: KindModify, OID: heap.OID(rng.Uint64()%1e9 + 1)}
+	default:
+		return Event{
+			Kind:   KindWrite,
+			OID:    heap.OID(rng.Uint64()%1e9 + 1),
+			Field:  rng.Intn(16),
+			Target: heap.OID(rng.Uint64() % 1e9), // may be nil
+		}
+	}
+}
+
+// TestRoundTripProperty checks encode/decode identity on random event
+// sequences.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		events := make([]Event, int(n)+1)
+		for i := range events {
+			events[i] = randomEvent(rng)
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, e := range events {
+			if err := w.Emit(e); err != nil {
+				t.Fatalf("Emit: %v", err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r := NewReader(&buf)
+		for i, want := range events {
+			got, err := r.Next()
+			if err != nil {
+				t.Errorf("Next #%d: %v", i, err)
+				return false
+			}
+			if got != want {
+				t.Errorf("event %d: got %+v want %+v", i, got, want)
+				return false
+			}
+		}
+		_, err := r.Next()
+		return errors.Is(err, io.EOF)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

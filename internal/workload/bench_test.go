@@ -1,0 +1,53 @@
+package workload
+
+import (
+	"testing"
+
+	"odbgc/internal/trace"
+)
+
+type discardSink struct{}
+
+func (discardSink) Emit(trace.Event) error { return nil }
+
+// BenchmarkGeneratorBase measures full base-workload trace generation
+// (~1.6 M events per iteration).
+func BenchmarkGeneratorBase(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, err := New(DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := g.Run(discardSink{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(st.Events), "events")
+	}
+}
+
+// BenchmarkGeneratorEventRate measures per-event generation cost on a
+// smaller database.
+func BenchmarkGeneratorEventRate(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.TargetLiveBytes = 400_000
+	cfg.TotalAllocBytes = 1_200_000
+	cfg.MinDeletions = 800
+	var events int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := g.Run(discardSink{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += st.Events
+	}
+	b.StopTimer()
+	if events > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+	}
+}

@@ -1,0 +1,149 @@
+// Package workload implements the synthetic application of Section 5: a
+// forest of augmented binary trees (binary trees plus "dense" edges
+// connecting random nodes of the same tree), built breadth-first, visited
+// by partial depth-first and breadth-first traversals, and mutated by
+// random tree-edge deletions that create garbage. The generator emits a
+// trace of application events; it knows nothing about partitions, buffers,
+// or collection — that separation is what makes the simulation
+// trace-driven.
+package workload
+
+import (
+	"fmt"
+
+	"odbgc/internal/trace"
+)
+
+// Source is any application trace generator: the augmented-binary-tree
+// workload of the paper (Generator) and the OO1-style parts database
+// (OO1Generator) both implement it, and the simulator can consume either.
+type Source interface {
+	// Run streams the whole trace into sink and returns its summary.
+	Run(sink trace.Sink) (Stats, error)
+}
+
+// Config parameterizes the synthetic application. The zero value is not
+// usable; start from DefaultConfig.
+type Config struct {
+	// Seed drives all of the generator's randomness. Two generators with
+	// equal configs emit identical traces.
+	Seed int64
+
+	// TargetLiveBytes is the live-data setpoint: the build phase creates
+	// trees until the live estimate reaches it, and the churn phase
+	// regrows what deletions remove to hold the estimate near it. The
+	// paper's table runs keep roughly 5 MB of live data.
+	TargetLiveBytes int64
+	// TotalAllocBytes stops the churn phase once cumulative allocation
+	// reaches it (the paper's "maximum allocated" axis in Figure 6).
+	TotalAllocBytes int64
+	// MinDeletions keeps churning until at least this many tree-edge
+	// deletions (pointer overwrites) have occurred, so every run triggers
+	// a comparable number of collections.
+	MinDeletions int64
+	// MaxEvents is a safety cap on emitted events; exceeding it is an
+	// error (a sign the churn controller cannot reach its targets).
+	MaxEvents int64
+
+	// MinObjectSize and MaxObjectSize bound the uniform node size
+	// distribution (the paper: 50–150 bytes, mean 100).
+	MinObjectSize, MaxObjectSize int64
+	// LargeObjectSize is the size of large leaf objects (the paper: 64 KB,
+	// like OO7 document nodes); LargeEvery attaches one per that many
+	// regular nodes on average (0 disables large objects). The paper puts
+	// about 20% of all bytes in large leaves, which at 100-byte nodes
+	// means one large leaf per ~2600 nodes.
+	LargeObjectSize int64
+	LargeEvery      int
+
+	// MeanTreeNodes is the mean number of nodes per tree; actual tree
+	// sizes vary uniformly within ±50%.
+	MeanTreeNodes int
+	// DenseEdgeFraction is the probability that a node carries one dense
+	// edge to a random node of the same tree. Database connectivity
+	// (pointers per object) is approximately 1 + DenseEdgeFraction.
+	DenseEdgeFraction float64
+
+	// PNoTraversal, PDepthFirst select the traversal style per visit
+	// action; the remainder is breadth-first (the paper: 30% none, 20%
+	// depth-first, 50% breadth-first).
+	PNoTraversal, PDepthFirst float64
+	// PSkipEdge is the chance a traversal does not descend through a tree
+	// edge (the paper: 5%).
+	PSkipEdge float64
+	// PModify is the chance a visited node is modified (the paper: 1%).
+	PModify float64
+	// PReadLarge is the chance a visit to a node also reads its attached
+	// large leaf object.
+	PReadLarge float64
+
+	// DeletionsPerTraversal is the mean number of tree-edge deletions per
+	// churn iteration (each iteration performs one traversal action). It
+	// tunes the edge read/write ratio, which the paper keeps around
+	// 15–20.
+	DeletionsPerTraversal float64
+}
+
+// DefaultConfig returns the base workload used for the paper's Tables
+// 2–4: about 5 MB of live data, ~11.5 MB total allocation, connectivity
+// ≈ 1.083, and enough deletions for ~25 collections at a 200-overwrite
+// trigger.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                  1,
+		TargetLiveBytes:       4_500_000,
+		TotalAllocBytes:       11_500_000,
+		MinDeletions:          5000,
+		MaxEvents:             80_000_000,
+		MinObjectSize:         50,
+		MaxObjectSize:         150,
+		LargeObjectSize:       65536,
+		LargeEvery:            2600,
+		MeanTreeNodes:         400,
+		DenseEdgeFraction:     0.083,
+		PNoTraversal:          0.30,
+		PDepthFirst:           0.20,
+		PSkipEdge:             0.05,
+		PModify:               0.01,
+		PReadLarge:            0.05,
+		DeletionsPerTraversal: 0.7,
+	}
+}
+
+// Validate reports the first configuration error.
+func (c Config) Validate() error {
+	switch {
+	case c.TargetLiveBytes <= 0:
+		return fmt.Errorf("workload: TargetLiveBytes %d must be positive", c.TargetLiveBytes)
+	case c.TotalAllocBytes < c.TargetLiveBytes:
+		return fmt.Errorf("workload: TotalAllocBytes %d below TargetLiveBytes %d", c.TotalAllocBytes, c.TargetLiveBytes)
+	case c.MinDeletions < 0:
+		return fmt.Errorf("workload: MinDeletions %d negative", c.MinDeletions)
+	case c.MaxEvents <= 0:
+		return fmt.Errorf("workload: MaxEvents %d must be positive", c.MaxEvents)
+	case c.MinObjectSize <= 0 || c.MaxObjectSize < c.MinObjectSize:
+		return fmt.Errorf("workload: object size range [%d,%d] invalid", c.MinObjectSize, c.MaxObjectSize)
+	case c.LargeEvery < 0 || (c.LargeEvery > 0 && c.LargeObjectSize <= 0):
+		return fmt.Errorf("workload: large object settings invalid (every=%d size=%d)", c.LargeEvery, c.LargeObjectSize)
+	case c.MeanTreeNodes < 2:
+		return fmt.Errorf("workload: MeanTreeNodes %d too small", c.MeanTreeNodes)
+	case c.DenseEdgeFraction < 0 || c.DenseEdgeFraction > 1:
+		return fmt.Errorf("workload: DenseEdgeFraction %v outside [0,1]", c.DenseEdgeFraction)
+	case c.PNoTraversal < 0 || c.PDepthFirst < 0 || c.PNoTraversal+c.PDepthFirst > 1:
+		return fmt.Errorf("workload: traversal probabilities invalid (%v, %v)", c.PNoTraversal, c.PDepthFirst)
+	case c.PSkipEdge < 0 || c.PSkipEdge >= 1:
+		return fmt.Errorf("workload: PSkipEdge %v outside [0,1)", c.PSkipEdge)
+	case c.PModify < 0 || c.PModify > 1:
+		return fmt.Errorf("workload: PModify %v outside [0,1]", c.PModify)
+	case c.PReadLarge < 0 || c.PReadLarge > 1:
+		return fmt.Errorf("workload: PReadLarge %v outside [0,1]", c.PReadLarge)
+	case c.DeletionsPerTraversal < 0:
+		return fmt.Errorf("workload: DeletionsPerTraversal %v negative", c.DeletionsPerTraversal)
+	}
+	return nil
+}
+
+// Connectivity returns the approximate pointers-per-object of the
+// generated database: each node has one incoming tree edge plus
+// DenseEdgeFraction expected dense edges.
+func (c Config) Connectivity() float64 { return 1 + c.DenseEdgeFraction }

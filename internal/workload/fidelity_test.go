@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"odbgc/internal/trace"
+)
+
+// Fidelity tests: the generated traces must exhibit the statistical
+// properties Section 5 of the paper specifies.
+
+// fidelityStats runs a mid-sized workload collecting per-event data.
+func fidelityStats(t *testing.T) (Stats, []trace.Event) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.TargetLiveBytes = 800_000
+	cfg.TotalAllocBytes = 2_500_000
+	cfg.MinDeletions = 1500
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []trace.Event
+	st, err := g.Run(sinkFunc(func(e trace.Event) error {
+		events = append(events, e)
+		return nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, events
+}
+
+func TestTraversalMixMatchesPaperOdds(t *testing.T) {
+	st, _ := fidelityStats(t)
+	total := st.TraversalsNone + st.TraversalsDFS + st.TraversalsBFS
+	if total == 0 {
+		t.Fatal("no traversal actions recorded")
+	}
+	none := float64(st.TraversalsNone) / float64(total)
+	dfs := float64(st.TraversalsDFS) / float64(total)
+	bfs := float64(st.TraversalsBFS) / float64(total)
+	if math.Abs(none-0.30) > 0.05 {
+		t.Errorf("no-traversal share = %.3f, want ≈0.30", none)
+	}
+	if math.Abs(dfs-0.20) > 0.05 {
+		t.Errorf("depth-first share = %.3f, want ≈0.20", dfs)
+	}
+	if math.Abs(bfs-0.50) > 0.05 {
+		t.Errorf("breadth-first share = %.3f, want ≈0.50", bfs)
+	}
+}
+
+func TestModifyRateMatchesPaper(t *testing.T) {
+	// "When an object is visited, it has a 1% chance of being modified."
+	st, _ := fidelityStats(t)
+	if st.Reads == 0 {
+		t.Fatal("no reads")
+	}
+	rate := float64(st.Modifies) / float64(st.Reads)
+	if rate < 0.005 || rate > 0.02 {
+		t.Errorf("modify rate = %.4f, want ≈0.01", rate)
+	}
+}
+
+func TestObjectSizesUniformInRange(t *testing.T) {
+	// "Object sizes are randomly distributed around an average of 100
+	// bytes... uniform, with bounds at 50 and 150 bytes."
+	_, events := fidelityStats(t)
+	var n, sum int64
+	min, max := int64(1<<62), int64(0)
+	for _, e := range events {
+		if e.Kind != trace.KindCreate || e.Size > 4096 {
+			continue // skip large leaves
+		}
+		n++
+		sum += e.Size
+		if e.Size < min {
+			min = e.Size
+		}
+		if e.Size > max {
+			max = e.Size
+		}
+	}
+	if n == 0 {
+		t.Fatal("no regular creates")
+	}
+	if min < 50 || max > 150 {
+		t.Errorf("size range [%d,%d] outside [50,150]", min, max)
+	}
+	mean := float64(sum) / float64(n)
+	if math.Abs(mean-100) > 3 {
+		t.Errorf("mean size = %.1f, want ≈100", mean)
+	}
+	// A uniform distribution actually reaches near its bounds.
+	if min > 55 || max < 145 {
+		t.Errorf("bounds [%d,%d] never approached [50,150] over %d draws", min, max, n)
+	}
+}
+
+func TestDeletionsEqualNonNilOverwrites(t *testing.T) {
+	// Every counted deletion is a pointer overwrite and, in this
+	// generator, the only source of overwrites: replaying the trace and
+	// tracking field values must find exactly st.Deletions overwrites of
+	// non-nil values.
+	st, events := fidelityStats(t)
+	values := make(map[[2]uint64]uint64)
+	var overwrites int64
+	for _, e := range events {
+		switch e.Kind {
+		case trace.KindCreate:
+			if e.Parent != 0 {
+				values[[2]uint64{uint64(e.Parent), uint64(e.ParentField)}] = uint64(e.OID)
+			}
+		case trace.KindWrite:
+			key := [2]uint64{uint64(e.OID), uint64(e.Field)}
+			if values[key] != 0 {
+				overwrites++
+			}
+			values[key] = uint64(e.Target)
+		}
+	}
+	if overwrites != st.Deletions {
+		t.Errorf("trace overwrites = %d, generator deletions = %d", overwrites, st.Deletions)
+	}
+}
+
+func TestLargeLeavesAreLeaves(t *testing.T) {
+	// "We do, however, include the creation of a few large objects...
+	// These are always leaf objects."
+	_, events := fidelityStats(t)
+	large := make(map[uint64]bool)
+	for _, e := range events {
+		if e.Kind == trace.KindCreate && e.Size > 4096 {
+			if e.NFields != 0 {
+				t.Fatalf("large object %d has %d pointer fields", e.OID, e.NFields)
+			}
+			large[uint64(e.OID)] = true
+		}
+	}
+	if len(large) == 0 {
+		t.Skip("no large objects in this trace (rate is 1/2600 nodes)")
+	}
+	// Nothing ever writes into a large object, and large objects are
+	// never traversal sources of writes.
+	for _, e := range events {
+		if e.Kind == trace.KindWrite && large[uint64(e.OID)] {
+			t.Fatalf("write into large leaf %d", e.OID)
+		}
+	}
+}
+
+func TestSubtreeDeletionSizesAreLogarithmic(t *testing.T) {
+	// Deleting a uniformly random edge of a binary tree removes a
+	// subtree whose expected size is O(log n) — small subtrees dominate,
+	// with an occasional large one. Sanity-check the mean deleted bytes
+	// per deletion.
+	st, _ := fidelityStats(t)
+	if st.Deletions == 0 {
+		t.Fatal("no deletions")
+	}
+	// Total deleted visitable bytes ≈ allocated − final live estimate −
+	// (build overshoot); per-deletion average should be a few nodes to a
+	// few dozen nodes, not whole trees.
+	deletedBytes := st.AllocatedBytes - st.LiveBytesEstimate
+	perDeletion := float64(deletedBytes) / float64(st.Deletions)
+	if perDeletion < 100 || perDeletion > 20_000 {
+		t.Errorf("mean bytes per deletion = %.0f, want O(log n) node sizes", perDeletion)
+	}
+}

@@ -1,0 +1,482 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"odbgc/internal/heap"
+	"odbgc/internal/trace"
+)
+
+// Field layout of a regular node. Tree edges occupy the first two fields;
+// the dense edge and large-leaf attachment get one field each. Large leaf
+// objects have no fields.
+const (
+	fieldLeftChild  = 0
+	fieldRightChild = 1
+	fieldDense      = 2
+	fieldLarge      = 3
+	nodeFields      = 4
+)
+
+// Stats summarizes a generated trace.
+type Stats struct {
+	// Events is the total number of events emitted.
+	Events int64
+	// Creates, Roots, Reads, Writes, Modifies count events by kind.
+	Creates, Roots, Reads, Writes, Modifies int64
+	// Deletions counts tree-edge deletions (the garbage-creating pointer
+	// overwrites).
+	Deletions int64
+	// TraversalsNone, TraversalsDFS, TraversalsBFS count visit actions by
+	// style (the paper's odds: 30% none, 20% depth-first, 50%
+	// breadth-first).
+	TraversalsNone, TraversalsDFS, TraversalsBFS int64
+	// AllocatedBytes is cumulative allocation; LiveBytesEstimate is the
+	// generator's final visitable-set estimate.
+	AllocatedBytes    int64
+	LiveBytesEstimate int64
+	// Nodes and LargeObjects count allocations by class; Trees counts
+	// trees created.
+	Nodes, LargeObjects, Trees int64
+	// DenseEdges counts dense edges installed.
+	DenseEdges int64
+	// EdgeReadWriteRatio is Reads divided by Writes+Creates-with-parent —
+	// the paper keeps it around 15–20.
+	EdgeReadWriteRatio float64
+}
+
+// node is the generator's private view of one tree node.
+type node struct {
+	oid      heap.OID
+	kids     [2]heap.OID
+	size     int64    // node size, excluding any attached large leaf
+	large    int64    // size of the attached large leaf, 0 if none
+	largeOID heap.OID // OID of the attached large leaf, NilOID if none
+	alive    bool
+}
+
+// tree is one augmented binary tree.
+type tree struct {
+	root  heap.OID
+	nodes map[heap.OID]*node
+	// alive is a sampling pool for uniform picks; dead entries are
+	// compacted lazily. aliveCount is the exact number of alive nodes.
+	alive      []heap.OID
+	aliveCount int
+}
+
+// Generator emits the synthetic application trace. It is single-use: one
+// Run per Generator.
+type Generator struct {
+	cfg  Config
+	rng  *rand.Rand
+	sink trace.Sink
+
+	trees      []*tree
+	nextOID    heap.OID
+	totalAlive int
+
+	liveBytes  int64
+	allocBytes int64
+	stats      Stats
+	ran        bool
+
+	buildDone func()
+}
+
+// SetBuildCompleteHook registers fn to run once, after the build phase
+// finishes and before the churn phase starts. Warm-start measurement uses
+// it to discard build-phase costs. It must be set before Run.
+func (g *Generator) SetBuildCompleteHook(fn func()) { g.buildDone = fn }
+
+// New returns a generator for cfg.
+func New(cfg Config) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), nextOID: 1}, nil
+}
+
+// Run generates the whole trace into sink and returns the trace summary.
+func (g *Generator) Run(sink trace.Sink) (Stats, error) {
+	if g.ran {
+		return Stats{}, fmt.Errorf("workload: generator already ran")
+	}
+	g.ran = true
+	g.sink = sink
+
+	// Build phase: create trees until the live target is reached.
+	for g.liveBytes < g.cfg.TargetLiveBytes {
+		if err := g.buildTree(); err != nil {
+			return g.stats, err
+		}
+	}
+	if g.buildDone != nil {
+		g.buildDone()
+	}
+
+	// Churn phase: traverse, delete, regrow until the allocation and
+	// deletion targets are met.
+	for g.allocBytes < g.cfg.TotalAllocBytes || g.stats.Deletions < g.cfg.MinDeletions {
+		if g.stats.Events >= g.cfg.MaxEvents {
+			return g.stats, fmt.Errorf("workload: event cap %d hit before targets (alloc %d/%d, deletions %d/%d)",
+				g.cfg.MaxEvents, g.allocBytes, g.cfg.TotalAllocBytes, g.stats.Deletions, g.cfg.MinDeletions)
+		}
+		if err := g.traversalAction(); err != nil {
+			return g.stats, err
+		}
+		nDel := int(g.cfg.DeletionsPerTraversal)
+		if frac := g.cfg.DeletionsPerTraversal - float64(nDel); g.rng.Float64() < frac {
+			nDel++
+		}
+		deleted := false
+		for i := 0; i < nDel; i++ {
+			ok, err := g.deleteRandomEdge()
+			if err != nil {
+				return g.stats, err
+			}
+			deleted = deleted || ok
+		}
+		for g.liveBytes < g.cfg.TargetLiveBytes {
+			if err := g.grow(); err != nil {
+				return g.stats, err
+			}
+		}
+		if !deleted && nDel > 0 {
+			// The forest has been chopped to childless stumps (possible
+			// when heavy large leaves keep the live estimate above the
+			// setpoint); grow fresh deletable trees so churn can proceed.
+			if err := g.grow(); err != nil {
+				return g.stats, err
+			}
+		}
+	}
+
+	g.stats.AllocatedBytes = g.allocBytes
+	g.stats.LiveBytesEstimate = g.liveBytes
+	if w := g.stats.Writes + g.stats.Creates; w > 0 {
+		g.stats.EdgeReadWriteRatio = float64(g.stats.Reads) / float64(w)
+	}
+	return g.stats, nil
+}
+
+// emit sends one event and updates the event counters.
+func (g *Generator) emit(e trace.Event) error {
+	if err := g.sink.Emit(e); err != nil {
+		return err
+	}
+	g.stats.Events++
+	switch e.Kind {
+	case trace.KindCreate:
+		g.stats.Creates++
+	case trace.KindRoot:
+		g.stats.Roots++
+	case trace.KindRead:
+		g.stats.Reads++
+	case trace.KindWrite:
+		g.stats.Writes++
+	case trace.KindModify:
+		g.stats.Modifies++
+	}
+	return nil
+}
+
+func (g *Generator) nodeSize() int64 {
+	return g.cfg.MinObjectSize + g.rng.Int63n(g.cfg.MaxObjectSize-g.cfg.MinObjectSize+1)
+}
+
+// createNode allocates a node object under parent (NilOID for a tree
+// root), registers it in t, and possibly attaches a dense edge and a large
+// leaf.
+func (g *Generator) createNode(t *tree, parent heap.OID, parentField int) (heap.OID, error) {
+	oid := g.nextOID
+	g.nextOID++
+	size := g.nodeSize()
+	if err := g.emit(trace.Event{
+		Kind: trace.KindCreate, OID: oid, Size: size, NFields: nodeFields,
+		Parent: parent, ParentField: parentField,
+	}); err != nil {
+		return 0, err
+	}
+	n := &node{oid: oid, size: size, alive: true}
+	t.nodes[oid] = n
+	t.alive = append(t.alive, oid)
+	t.aliveCount++
+	g.totalAlive++
+	if parent != heap.NilOID {
+		t.nodes[parent].kids[parentField] = oid
+	}
+	g.liveBytes += size
+	g.allocBytes += size
+	g.stats.Nodes++
+
+	// Dense edge to a random alive node of the same tree.
+	if g.rng.Float64() < g.cfg.DenseEdgeFraction {
+		if target := g.pickAlive(t); target != heap.NilOID && target != oid {
+			if err := g.emit(trace.Event{Kind: trace.KindWrite, OID: oid, Field: fieldDense, Target: target}); err != nil {
+				return 0, err
+			}
+			g.stats.DenseEdges++
+		}
+	}
+
+	// Large leaf attachment.
+	if g.cfg.LargeEvery > 0 && g.rng.Intn(g.cfg.LargeEvery) == 0 {
+		largeOID := g.nextOID
+		g.nextOID++
+		if err := g.emit(trace.Event{
+			Kind: trace.KindCreate, OID: largeOID, Size: g.cfg.LargeObjectSize,
+			NFields: 0, Parent: oid, ParentField: fieldLarge,
+		}); err != nil {
+			return 0, err
+		}
+		n.large = g.cfg.LargeObjectSize
+		n.largeOID = largeOID
+		g.liveBytes += g.cfg.LargeObjectSize
+		g.allocBytes += g.cfg.LargeObjectSize
+		g.stats.LargeObjects++
+	}
+	return oid, nil
+}
+
+// buildTree creates one augmented binary tree breadth-first with a size
+// drawn uniformly from [mean/2, 3·mean/2).
+func (g *Generator) buildTree() error {
+	return g.buildTreeSized(g.cfg.MeanTreeNodes/2 + g.rng.Intn(g.cfg.MeanTreeNodes))
+}
+
+// buildTreeSized creates one augmented binary tree of the given node count
+// breadth-first.
+func (g *Generator) buildTreeSized(target int) error {
+	if target < 2 {
+		target = 2
+	}
+	t := &tree{nodes: make(map[heap.OID]*node)}
+	root, err := g.createNode(t, heap.NilOID, 0)
+	if err != nil {
+		return err
+	}
+	t.root = root
+	if err := g.emit(trace.Event{Kind: trace.KindRoot, OID: root}); err != nil {
+		return err
+	}
+	g.trees = append(g.trees, t)
+	g.stats.Trees++
+
+	// Breadth-first fill: attach children left-to-right, level by level.
+	queue := []heap.OID{root}
+	count := 1
+	for count < target && len(queue) > 0 {
+		parent := queue[0]
+		queue = queue[1:]
+		for f := 0; f < 2 && count < target; f++ {
+			child, err := g.createNode(t, parent, f)
+			if err != nil {
+				return err
+			}
+			queue = append(queue, child)
+			count++
+		}
+	}
+	return nil
+}
+
+// pickAlive returns a uniformly random alive node of t, compacting the
+// sampling pool as it goes, or NilOID if the tree is dead.
+func (g *Generator) pickAlive(t *tree) heap.OID {
+	for len(t.alive) > 0 {
+		i := g.rng.Intn(len(t.alive))
+		oid := t.alive[i]
+		if n := t.nodes[oid]; n != nil && n.alive {
+			return oid
+		}
+		t.alive[i] = t.alive[len(t.alive)-1]
+		t.alive = t.alive[:len(t.alive)-1]
+	}
+	return heap.NilOID
+}
+
+// pickTreeUniform returns a uniformly random tree (the paper: "the
+// particular trees that are visited are chosen randomly"). Chopped-down
+// trees are as likely as fresh ones, so traversals keep exercising
+// deletion-diluted data — which is exactly what makes compaction pay off.
+func (g *Generator) pickTreeUniform() *tree {
+	if len(g.trees) == 0 {
+		return nil
+	}
+	t := g.trees[g.rng.Intn(len(g.trees))]
+	if t.aliveCount == 0 {
+		return nil
+	}
+	return t
+}
+
+// pickTree returns a random tree weighted by its alive node count — the
+// tree containing a uniformly random alive node of the forest. Deletions
+// use it so that "randomly deleting tree edges" picks a uniformly random
+// edge of the whole forest.
+func (g *Generator) pickTree() *tree {
+	if g.totalAlive == 0 {
+		return nil
+	}
+	r := g.rng.Intn(g.totalAlive)
+	for _, t := range g.trees {
+		if r < t.aliveCount {
+			return t
+		}
+		r -= t.aliveCount
+	}
+	return nil // unreachable while accounting is consistent
+}
+
+// traversalAction performs one visit action: none, a partial depth-first
+// traversal, or a partial breadth-first traversal of a random tree.
+func (g *Generator) traversalAction() error {
+	roll := g.rng.Float64()
+	if roll < g.cfg.PNoTraversal {
+		g.stats.TraversalsNone++
+		return nil
+	}
+	t := g.pickTreeUniform()
+	if t == nil {
+		return nil
+	}
+	if roll < g.cfg.PNoTraversal+g.cfg.PDepthFirst {
+		g.stats.TraversalsDFS++
+		return g.traverseDepthFirst(t, t.root)
+	}
+	g.stats.TraversalsBFS++
+	return g.traverseBreadthFirst(t)
+}
+
+// visit reads a node, occasionally its large leaf, and occasionally
+// modifies it.
+func (g *Generator) visit(t *tree, oid heap.OID) error {
+	if err := g.emit(trace.Event{Kind: trace.KindRead, OID: oid}); err != nil {
+		return err
+	}
+	n := t.nodes[oid]
+	if n.largeOID != heap.NilOID && g.rng.Float64() < g.cfg.PReadLarge {
+		if err := g.emit(trace.Event{Kind: trace.KindRead, OID: n.largeOID}); err != nil {
+			return err
+		}
+	}
+	if g.rng.Float64() < g.cfg.PModify {
+		if err := g.emit(trace.Event{Kind: trace.KindModify, OID: oid}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *Generator) traverseDepthFirst(t *tree, oid heap.OID) error {
+	if err := g.visit(t, oid); err != nil {
+		return err
+	}
+	n := t.nodes[oid]
+	for _, kid := range n.kids {
+		if kid == heap.NilOID {
+			continue
+		}
+		if g.rng.Float64() < g.cfg.PSkipEdge {
+			continue
+		}
+		if err := g.traverseDepthFirst(t, kid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *Generator) traverseBreadthFirst(t *tree) error {
+	queue := []heap.OID{t.root}
+	for len(queue) > 0 {
+		oid := queue[0]
+		queue = queue[1:]
+		if err := g.visit(t, oid); err != nil {
+			return err
+		}
+		for _, kid := range t.nodes[oid].kids {
+			if kid == heap.NilOID {
+				continue
+			}
+			if g.rng.Float64() < g.cfg.PSkipEdge {
+				continue
+			}
+			queue = append(queue, kid)
+		}
+	}
+	return nil
+}
+
+// deleteRandomEdge removes one tree edge: the pointer from a random
+// non-root node's parent is overwritten with nil, making the subtree
+// unreachable through tree edges (dense edges may keep parts of it alive
+// in the heap — the simulator's concern, not ours). It reports whether an
+// edge was actually deleted; a forest chopped down to childless stumps has
+// nothing left to delete, and the churn loop must grow fresh material.
+func (g *Generator) deleteRandomEdge() (bool, error) {
+	for tries := 0; tries < 30; tries++ {
+		t := g.pickTree()
+		if t == nil {
+			return false, nil
+		}
+		oid := g.pickAlive(t)
+		if oid == heap.NilOID {
+			continue
+		}
+		n := t.nodes[oid]
+		f := g.rng.Intn(2)
+		if n.kids[f] == heap.NilOID {
+			f = 1 - f
+		}
+		if n.kids[f] == heap.NilOID {
+			continue
+		}
+		child := n.kids[f]
+		if err := g.emit(trace.Event{Kind: trace.KindWrite, OID: oid, Field: f, Target: heap.NilOID}); err != nil {
+			return false, err
+		}
+		g.stats.Deletions++
+		n.kids[f] = heap.NilOID
+		g.killSubtree(t, child)
+		return true, nil
+	}
+	return false, nil
+}
+
+// killSubtree marks the subtree rooted at oid dead in the generator's
+// model and subtracts its bytes from the live estimate.
+func (g *Generator) killSubtree(t *tree, oid heap.OID) {
+	stack := []heap.OID{oid}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := t.nodes[cur]
+		if n == nil || !n.alive {
+			continue
+		}
+		n.alive = false
+		t.aliveCount--
+		g.totalAlive--
+		g.liveBytes -= n.size + n.large
+		for _, kid := range n.kids {
+			if kid != heap.NilOID {
+				stack = append(stack, kid)
+			}
+		}
+	}
+}
+
+// grow restores the live-byte setpoint by creating one full-size fresh
+// tree. Replacement data arrives as whole trees for the same reason the
+// original forest is built tree-at-a-time: a tree built in one burst is
+// physically contiguous (consecutive allocations land in the same
+// partition) and its dense edges — random nodes of the *same* tree — stay
+// mostly intra-partition. Grafting replacement nodes one-by-one onto old
+// trees instead scatters children away from their parents and makes both
+// tree and dense edges cross partitions; the resulting inter-partition
+// references among garbage pin nearly everything through the remembered
+// sets, and no selection policy (not even the oracle) can reclaim much.
+func (g *Generator) grow() error { return g.buildTree() }
