@@ -1,0 +1,12 @@
+#!/bin/sh
+# ci.sh — the repository's check suite. Run before committing.
+#
+# Keep this in sync with ROADMAP.md's tier-1 definition: build + full test
+# suite, plus vet and a race pass over the packages that exercise the most
+# shared state.
+set -eux
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./internal/sim ./internal/gc

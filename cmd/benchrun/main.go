@@ -1,0 +1,169 @@
+// Command benchrun runs the repository's benchmark suite and records the
+// results as a machine-readable BENCH_<label>.json file, so the performance
+// trajectory of the hot paths can be compared across changes without
+// re-parsing `go test -bench` text by hand.
+//
+// Usage:
+//
+//	go run ./cmd/benchrun -label baseline
+//	go run ./cmd/benchrun -label after -bench 'Table2Throughput|CollectorOnly'
+//
+// The file is written to -out (default ".") as BENCH_<label>.json and holds
+// one record per benchmark: name, iterations, ns/op, B/op, allocs/op, and
+// every custom metric the benchmark reported (app_ios, fraction_pct, ...).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BPerOp     float64            `json:"b_per_op,omitempty"`
+	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the full BENCH_<label>.json payload.
+type Report struct {
+	Label      string      `json:"label"`
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	CPU        string      `json:"cpu,omitempty"`
+	Packages   string      `json:"packages"`
+	BenchRegex string      `json:"bench_regex"`
+	Benchtime  string      `json:"benchtime"`
+	Count      int         `json:"count"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	label := flag.String("label", "", "label for the output file BENCH_<label>.json (required)")
+	bench := flag.String("bench", "BenchmarkTable2Throughput|BenchmarkCollectorOnly",
+		"benchmark regex passed to go test -bench")
+	benchtime := flag.String("benchtime", "2x", "value passed to go test -benchtime")
+	count := flag.Int("count", 1, "value passed to go test -count")
+	pkg := flag.String("pkg", ".", "package pattern to benchmark")
+	out := flag.String("out", ".", "directory for the output file")
+	flag.Parse()
+	if *label == "" {
+		fmt.Fprintln(os.Stderr, "benchrun: -label is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	args := []string{"test", "-run", "^$", "-bench", *bench,
+		"-benchtime", *benchtime, "-count", strconv.Itoa(*count), "-benchmem", *pkg}
+	cmd := exec.Command("go", args...)
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = os.Stderr
+	fmt.Fprintf(os.Stderr, "benchrun: go %s\n", strings.Join(args, " "))
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchrun: go test failed: %v\n%s", err, stdout.String())
+		os.Exit(1)
+	}
+
+	report := Report{
+		Label:      *label,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Packages:   *pkg,
+		BenchRegex: *bench,
+		Benchtime:  *benchtime,
+		Count:      *count,
+	}
+	for _, line := range strings.Split(stdout.String(), "\n") {
+		line = strings.TrimSpace(line)
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			report.CPU = cpu
+			continue
+		}
+		b, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		report.Benchmarks = append(report.Benchmarks, b)
+	}
+	if len(report.Benchmarks) == 0 {
+		fmt.Fprintf(os.Stderr, "benchrun: no benchmark lines matched %q\n", *bench)
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrun: %v\n", err)
+		os.Exit(1)
+	}
+	path := filepath.Join(*out, "BENCH_"+*label+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchrun: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(report.Benchmarks))
+}
+
+// parseBenchLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkFoo/bar-4  2  142683525 ns/op  24627 app_ios  16 B/op  1 allocs/op
+//
+// Lines that are not benchmark results return ok=false.
+func parseBenchLine(line string) (Benchmark, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Benchmark{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix from the leaf name.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	// The rest is (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = val
+		case "B/op":
+			b.BPerOp = val
+		case "allocs/op":
+			b.AllocsOp = val
+		default:
+			b.Metrics[unit] = val
+		}
+	}
+	if len(b.Metrics) == 0 {
+		b.Metrics = nil
+	}
+	return b, true
+}

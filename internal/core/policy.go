@@ -50,13 +50,16 @@ type Env struct {
 	Heap   *heap.Heap
 	Oracle *heap.Oracle
 	Rand   *rand.Rand
+
+	cands []heap.PartitionID // Candidates scratch, reused per call
 }
 
 // Candidates returns the partitions eligible for collection — every
 // partition that holds data and is not the reserved empty partition — in
-// ascending ID order.
+// ascending ID order. The returned slice is scratch space owned by the Env
+// and is invalidated by the next call.
 func (e *Env) Candidates() []heap.PartitionID {
-	var out []heap.PartitionID
+	out := e.cands[:0]
 	for id := 0; id < e.Heap.NumPartitions(); id++ {
 		pid := heap.PartitionID(id)
 		if pid == e.Heap.EmptyPartition() {
@@ -66,6 +69,7 @@ func (e *Env) Candidates() []heap.PartitionID {
 			out = append(out, pid)
 		}
 	}
+	e.cands = out
 	return out
 }
 
@@ -89,19 +93,30 @@ type Policy interface {
 }
 
 // counterPolicy is the shared machinery of the heuristic policies: a
-// per-partition accumulator, selection of the maximum, and zeroing after
-// collection. Ties break toward the lowest partition ID.
+// per-partition accumulator (a dense slice indexed by PartitionID),
+// selection of the maximum, and zeroing after collection. Ties break
+// toward the lowest partition ID.
 type counterPolicy struct {
-	counts map[heap.PartitionID]float64
+	counts []float64
 }
 
 func newCounterPolicy() counterPolicy {
-	return counterPolicy{counts: make(map[heap.PartitionID]float64)}
+	return counterPolicy{}
+}
+
+func (c *counterPolicy) at(p heap.PartitionID) float64 {
+	if p < 0 || int(p) >= len(c.counts) {
+		return 0
+	}
+	return c.counts[p]
 }
 
 func (c *counterPolicy) bump(p heap.PartitionID, by float64) {
 	if p == heap.NoPartition {
 		return
+	}
+	if want := int(p) + 1; want > len(c.counts) {
+		c.counts = append(c.counts, make([]float64, want-len(c.counts))...)
 	}
 	c.counts[p] += by
 }
@@ -111,22 +126,26 @@ func (c *counterPolicy) selectMax(env *Env) (heap.PartitionID, bool) {
 	if len(cands) == 0 {
 		return heap.NoPartition, false
 	}
-	best, bestScore := cands[0], c.counts[cands[0]]
+	best, bestScore := cands[0], c.at(cands[0])
 	for _, p := range cands[1:] {
-		if s := c.counts[p]; s > bestScore {
+		if s := c.at(p); s > bestScore {
 			best, bestScore = p, s
 		}
 	}
 	return best, true
 }
 
-func (c *counterPolicy) Collected(p, _ heap.PartitionID) { delete(c.counts, p) }
+func (c *counterPolicy) Collected(p, _ heap.PartitionID) {
+	if int(p) < len(c.counts) {
+		c.counts[p] = 0
+	}
+}
 
 // DataStore is a no-op for every policy except MutatedObjectYNY.
 func (c *counterPolicy) DataStore(heap.PartitionID) {}
 
 // Score exposes a partition's accumulator for tests and diagnostics.
-func (c *counterPolicy) Score(p heap.PartitionID) float64 { return c.counts[p] }
+func (c *counterPolicy) Score(p heap.PartitionID) float64 { return c.at(p) }
 
 // New constructs a policy by registry name. rng seeds the Random policy
 // and is ignored by the others; it must not be shared with the workload

@@ -28,7 +28,7 @@ func (p Progress) logf(format string, args ...any) {
 func BaseWorkload() workload.Config { return workload.DefaultConfig() }
 
 // BaseSim returns the simulator config of Tables 2–4 for one policy:
-// 48-page partitions and buffer, collection every 200 overwrites.
+// 48-page partitions and buffer, collection every 280 overwrites.
 func BaseSim(policy string) sim.Config { return sim.DefaultConfig(policy) }
 
 // BaseRun holds the per-seed results of the base configuration for every

@@ -2,7 +2,7 @@ package gc
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"odbgc/internal/core"
 	"odbgc/internal/heap"
@@ -52,6 +52,15 @@ type Collector struct {
 	stats     CollectorStats
 	paranoid  bool
 	traversal Traversal
+
+	// Per-evacuation scratch, reused across collections. seen is an
+	// epoch-stamped visited mark per OID: seen[oid] == seenEpoch means
+	// the object was enqueued (or found dead) this evacuation.
+	seen      []uint32
+	seenEpoch uint32
+	roots     []heap.OID
+	dead      []heap.OID
+	queue     copyQueue
 }
 
 // CollectorStats aggregates collection activity.
@@ -142,23 +151,31 @@ func (c *Collector) evacuate(victim heap.PartitionID) CollectionResult {
 
 	// Roots: database roots resident in the victim plus the targets of
 	// its remembered set, in deterministic order.
-	var roots []heap.OID
-	seen := make(map[heap.OID]bool)
+	c.seenEpoch++
+	if c.seenEpoch == 0 { // uint32 wraparound: old stamps become ambiguous
+		clear(c.seen)
+		c.seenEpoch = 1
+	}
+	if n := int(c.h.OIDBound()); n > len(c.seen) {
+		c.seen = append(c.seen, make([]uint32, n-len(c.seen))...)
+	}
+	roots := c.roots[:0]
 	c.h.Roots(func(oid heap.OID) {
-		if c.h.Get(oid).Partition == victim && !seen[oid] {
-			seen[oid] = true
+		if c.h.Get(oid).Partition == victim && c.seen[oid] != c.seenEpoch {
+			c.seen[oid] = c.seenEpoch
 			roots = append(roots, oid)
 		}
 	})
-	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	slices.Sort(roots)
 	c.rem.RootsInto(victim, func(_ remset.Entry, target heap.OID) {
-		if !seen[target] {
+		if c.seen[target] != c.seenEpoch {
 			if obj := c.h.Get(target); obj != nil && obj.Partition == victim {
-				seen[target] = true
+				c.seen[target] = c.seenEpoch
 				roots = append(roots, target)
 			}
 		}
 	})
+	c.roots = roots
 
 	// Iterate over the roots one at a time (as the paper does), copying
 	// each root's component before moving to the next. Under the default
@@ -168,7 +185,8 @@ func (c *Collector) evacuate(victim heap.PartitionID) CollectionResult {
 	// level-by-level would scramble it. Under the page-first extension,
 	// pending objects on the page just read are preferred, minimizing
 	// page re-reads. Pointers leaving the victim are not traversed.
-	q := newCopyQueue(c.traversal)
+	q := &c.queue
+	q.reset(c.traversal)
 	for _, root := range roots {
 		if c.h.Get(root).Partition != victim {
 			continue // already copied as part of an earlier component
@@ -190,14 +208,14 @@ func (c *Collector) evacuate(victim heap.PartitionID) CollectionResult {
 			res.CopiedBytes += obj.Size
 			res.CopiedObjects++
 			for _, f := range obj.Fields {
-				if f == heap.NilOID || seen[f] {
+				if f == heap.NilOID || c.seen[f] == c.seenEpoch {
 					continue
 				}
 				child := c.h.Get(f)
 				if child == nil || child.Partition != victim {
 					continue
 				}
-				seen[f] = true
+				c.seen[f] = c.seenEpoch
 				q.push(f, c.pageOf(f))
 			}
 		}
@@ -208,9 +226,10 @@ func (c *Collector) evacuate(victim heap.PartitionID) CollectionResult {
 	// appear in, so later collections do not preserve objects reachable
 	// only from this garbage. Discarding performs no I/O: a copying
 	// collector never touches dead objects.
-	var dead []heap.OID
+	dead := c.dead[:0]
 	c.h.Partition(victim).Objects(func(oid heap.OID) { dead = append(dead, oid) })
-	sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
+	slices.Sort(dead)
+	c.dead = dead
 	for _, oid := range dead {
 		res.ReclaimedBytes += c.h.Get(oid).Size
 		res.ReclaimedObjects++
@@ -240,22 +259,31 @@ func (c *Collector) pageOf(oid heap.OID) heap.PageID {
 // FIFO. In PageFirst mode it additionally indexes pending objects by the
 // page they currently live on, and pop prefers an object on the page most
 // recently read; entries popped through the page index are skipped lazily
-// when their FIFO slots surface.
+// when their FIFO slots surface. The queue is scratch space reused across
+// collections; reset reinitializes it for one evacuation.
 type copyQueue struct {
 	mode    Traversal
 	fifo    []heap.OID
+	head    int
 	byPage  map[heap.PageID][]heap.OID
 	curPage heap.PageID
 	popped  map[heap.OID]bool
 }
 
-func newCopyQueue(mode Traversal) *copyQueue {
-	q := &copyQueue{mode: mode, curPage: -1}
+func (q *copyQueue) reset(mode Traversal) {
+	q.mode = mode
+	q.fifo = q.fifo[:0]
+	q.head = 0
+	q.curPage = -1
 	if mode == PageFirst {
-		q.byPage = make(map[heap.PageID][]heap.OID)
-		q.popped = make(map[heap.OID]bool)
+		if q.byPage == nil {
+			q.byPage = make(map[heap.PageID][]heap.OID)
+			q.popped = make(map[heap.OID]bool)
+		} else {
+			clear(q.byPage)
+			clear(q.popped)
+		}
 	}
-	return q
 }
 
 // push enqueues an object (enqueued at most once by the caller's seen
@@ -282,9 +310,9 @@ func (q *copyQueue) pop() (heap.OID, bool) {
 			}
 		}
 	}
-	for len(q.fifo) > 0 {
-		oid := q.fifo[0]
-		q.fifo = q.fifo[1:]
+	for q.head < len(q.fifo) {
+		oid := q.fifo[q.head]
+		q.head++
 		if q.mode == PageFirst {
 			if q.popped[oid] {
 				continue

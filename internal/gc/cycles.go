@@ -40,13 +40,13 @@ func (c *Collector) GlobalSweep() GlobalSweepResult {
 
 	// Mark: exact reachability, reading every live object once.
 	live := c.env.Oracle.Live()
-	for oid := range live {
+	live.ForEach(func(oid heap.OID) {
 		obj := c.h.Get(oid)
 		first, last := c.h.ObjectPages(obj)
 		c.buf.ReadRange(pagebuf.PageID(first), pagebuf.PageID(last), pagebuf.ActorGC)
 		res.LiveObjects++
 		res.LiveBytes += obj.Size
-	}
+	})
 
 	// Sweep the remembered sets: purge entries whose source is dead.
 	// Afterward every remaining entry has a live source, so every
@@ -55,7 +55,7 @@ func (c *Collector) GlobalSweep() GlobalSweepResult {
 	var dead []heap.OID
 	for pid := 0; pid < c.h.NumPartitions(); pid++ {
 		c.rem.OutSet(heap.PartitionID(pid), func(oid heap.OID) {
-			if _, ok := live[oid]; !ok {
+			if !live.Contains(oid) {
 				dead = append(dead, oid)
 			}
 		})

@@ -68,9 +68,7 @@ func (r *rig) root(t *testing.T, oid heap.OID) {
 // liveOIDs snapshots the reachable OID set.
 func (r *rig) liveOIDs() map[heap.OID]bool {
 	out := make(map[heap.OID]bool)
-	for oid := range r.env.Oracle.Live() {
-		out[oid] = true
-	}
+	r.env.Oracle.Live().ForEach(func(oid heap.OID) { out[oid] = true })
 	return out
 }
 

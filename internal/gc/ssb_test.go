@@ -160,9 +160,9 @@ func TestBufferedBarrierEquivalence(t *testing.T) {
 // heapFingerprint summarizes heap state for equivalence comparison.
 func heapFingerprint(r *rig) string {
 	var live int64
-	for oid := range r.env.Oracle.Live() {
+	r.env.Oracle.Live().ForEach(func(oid heap.OID) {
 		live += r.h.Get(oid).Size
-	}
+	})
 	return fmt.Sprintf("occ=%d live=%d parts=%d empty=%d",
 		r.h.OccupiedBytes(), live, r.h.NumPartitions(), r.h.EmptyPartition())
 }

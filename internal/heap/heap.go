@@ -46,8 +46,11 @@ type Partition struct {
 	// Base is the partition's first global byte address.
 	Base Addr
 
-	used    int64 // bump offset: bytes allocated since the last reset
-	objects map[OID]struct{}
+	used int64 // bump offset: bytes allocated since the last reset
+	// objects lists the resident OIDs in arbitrary order; each resident
+	// Object records its slot here (resIdx) so removal is a swap with the
+	// last element — no hashing on the allocation or collection paths.
+	objects []OID
 }
 
 // Used reports the bytes occupied in the partition (live objects plus
@@ -58,31 +61,63 @@ func (p *Partition) Used() int64 { return p.used }
 func (p *Partition) Len() int { return len(p.objects) }
 
 // Objects calls fn for every object OID resident in the partition.
-// Iteration order is unspecified.
+// Iteration order is unspecified; fn must not add or remove objects in p.
 func (p *Partition) Objects(fn func(OID)) {
-	for oid := range p.objects {
+	for _, oid := range p.objects {
 		fn(oid)
 	}
 }
 
+// maxDenseOID bounds the object table. OIDs index a slice-backed table, so
+// they must be allocated densely (the workload generators number them from
+// 1); an OID beyond this bound indicates a corrupt or hostile trace rather
+// than a real database.
+const maxDenseOID = OID(1) << 40
+
 // Heap is the simulated object database: a growable sequence of partitions,
 // an object table, and a root set.
+//
+// The hot paths are map-free: the object table is a slice indexed by OID,
+// partition residency is a swap-remove slice with per-object back-indices,
+// and allocation placement consults an incrementally maintained max-free
+// priority index instead of scanning every partition.
 type Heap struct {
 	cfg   Config
 	parts []*Partition
-	table map[OID]*Object
-	roots map[OID]struct{}
+
+	// table resolves OIDs to objects; nil entries are free slots (never
+	// allocated, or discarded). numObjects counts the non-nil entries.
+	table      []*Object
+	numObjects int
+	// pool recycles Object records discarded by the collector so
+	// steady-state allocation does not touch the Go heap.
+	pool []*Object
+
+	// rootList is the database root set in insertion order; each root
+	// Object also carries a root flag for O(1) membership tests.
+	rootList []OID
+
+	// byFree is a binary max-heap of allocatable partition IDs ordered by
+	// free bytes (ties toward the lower ID); freePos[p] is p's slot in
+	// byFree, or -1 while p is excluded (the reserved empty partition).
+	byFree  []PartitionID
+	freePos []int32
 
 	// empty is the reserved empty partition, or NoPartition when
 	// cfg.ReserveEmpty is false.
 	empty PartitionID
 
+	occupied       int64 // current bytes occupied across all partitions
 	totalAllocated int64 // cumulative bytes ever allocated
 	totalObjects   int64 // cumulative objects ever allocated
 }
 
 // ErrObjectTooLarge is returned when an object cannot fit in a partition.
 var ErrObjectTooLarge = errors.New("heap: object larger than a partition")
+
+// ErrSparseOID is returned when an OID is too large for the dense object
+// table; OIDs must be allocated densely from 1.
+var ErrSparseOID = errors.New("heap: OID exceeds dense table bound")
 
 // New returns an empty heap with one allocatable partition, plus the
 // reserved empty partition if the configuration asks for one.
@@ -92,13 +127,12 @@ func New(cfg Config) (*Heap, error) {
 	}
 	h := &Heap{
 		cfg:   cfg,
-		table: make(map[OID]*Object),
-		roots: make(map[OID]struct{}),
 		empty: NoPartition,
 	}
 	h.addPartition()
 	if cfg.ReserveEmpty {
 		h.empty = h.addPartition().ID
+		h.freeRemove(h.empty)
 	}
 	return h, nil
 }
@@ -106,15 +140,17 @@ func New(cfg Config) (*Heap, error) {
 // Config returns the heap's geometry.
 func (h *Heap) Config() Config { return h.cfg }
 
-// addPartition appends a fresh partition and returns it.
+// addPartition appends a fresh partition, indexes it as allocatable, and
+// returns it.
 func (h *Heap) addPartition() *Partition {
 	id := PartitionID(len(h.parts))
 	p := &Partition{
-		ID:      id,
-		Base:    Addr(int64(id) * h.cfg.PartitionBytes()),
-		objects: make(map[OID]struct{}),
+		ID:   id,
+		Base: Addr(int64(id) * h.cfg.PartitionBytes()),
 	}
 	h.parts = append(h.parts, p)
+	h.freePos = append(h.freePos, -1)
+	h.freeInsert(id)
 	return p
 }
 
@@ -138,21 +174,33 @@ func (h *Heap) SetEmptyPartition(p PartitionID) {
 	if h.parts[p].used != 0 {
 		panic(fmt.Sprintf("heap: partition %d designated empty but has %d used bytes", p, h.parts[p].used))
 	}
+	prev := h.empty
 	h.empty = p
+	h.freeRemove(p)
+	if prev != NoPartition {
+		h.freeInsert(prev)
+	}
 }
 
 // Get returns the object with the given OID, or nil if no such object is
 // resident in the heap.
-func (h *Heap) Get(oid OID) *Object { return h.table[oid] }
-
-// Contains reports whether oid names a resident object.
-func (h *Heap) Contains(oid OID) bool {
-	_, ok := h.table[oid]
-	return ok
+func (h *Heap) Get(oid OID) *Object {
+	if oid >= OID(len(h.table)) {
+		return nil
+	}
+	return h.table[oid]
 }
 
+// Contains reports whether oid names a resident object.
+func (h *Heap) Contains(oid OID) bool { return h.Get(oid) != nil }
+
 // Len reports the number of resident objects.
-func (h *Heap) Len() int { return len(h.table) }
+func (h *Heap) Len() int { return h.numObjects }
+
+// OIDBound returns one past the largest OID ever resident. Scratch
+// structures indexed by OID (the oracle's mark array, the collector's
+// visited stamps) size themselves with it.
+func (h *Heap) OIDBound() OID { return OID(len(h.table)) }
 
 // TotalAllocatedBytes reports the cumulative bytes ever allocated, including
 // bytes since reclaimed. This is the paper's "maximum allocated" axis.
@@ -162,14 +210,9 @@ func (h *Heap) TotalAllocatedBytes() int64 { return h.totalAllocated }
 func (h *Heap) TotalAllocatedObjects() int64 { return h.totalObjects }
 
 // OccupiedBytes reports the bytes currently occupied across all partitions:
-// live objects plus unreclaimed garbage (the paper's "database size").
-func (h *Heap) OccupiedBytes() int64 {
-	var n int64
-	for _, p := range h.parts {
-		n += p.used
-	}
-	return n
-}
+// live objects plus unreclaimed garbage (the paper's "database size"). It is
+// maintained incrementally and costs O(1).
+func (h *Heap) OccupiedBytes() int64 { return h.occupied }
 
 // FootprintBytes reports the total address space held by the database:
 // partition count times partition size. This includes external
@@ -181,27 +224,32 @@ func (h *Heap) FootprintBytes() int64 {
 // AddRoot marks oid as a member of the database root set. Root objects and
 // everything reachable from them are live.
 func (h *Heap) AddRoot(oid OID) {
-	if !h.Contains(oid) {
+	obj := h.Get(oid)
+	if obj == nil {
 		panic(fmt.Sprintf("heap: AddRoot(%d): no such object", oid))
 	}
-	h.roots[oid] = struct{}{}
+	if obj.root {
+		return
+	}
+	obj.root = true
+	h.rootList = append(h.rootList, oid)
 }
 
 // IsRoot reports whether oid is in the root set.
 func (h *Heap) IsRoot(oid OID) bool {
-	_, ok := h.roots[oid]
-	return ok
+	obj := h.Get(oid)
+	return obj != nil && obj.root
 }
 
-// Roots calls fn for every root OID. Iteration order is unspecified.
+// Roots calls fn for every root OID, in the order the roots were added.
 func (h *Heap) Roots(fn func(OID)) {
-	for oid := range h.roots {
+	for _, oid := range h.rootList {
 		fn(oid)
 	}
 }
 
 // NumRoots reports the size of the root set.
-func (h *Heap) NumRoots() int { return len(h.roots) }
+func (h *Heap) NumRoots() int { return len(h.rootList) }
 
 // Grew is the result of an allocation, reporting whether the database had
 // to grow to satisfy it.
@@ -225,6 +273,9 @@ func (h *Heap) Alloc(oid OID, size int64, nfields int, parent OID) (*Object, Gre
 	if size > h.cfg.PartitionBytes() {
 		return nil, Grew{}, fmt.Errorf("%w: %d > %d", ErrObjectTooLarge, size, h.cfg.PartitionBytes())
 	}
+	if oid >= maxDenseOID {
+		return nil, Grew{}, fmt.Errorf("%w: %d", ErrSparseOID, oid)
+	}
 	if h.Contains(oid) {
 		panic(fmt.Sprintf("heap: Alloc(%d): OID already resident", oid))
 	}
@@ -236,53 +287,109 @@ func (h *Heap) Alloc(oid OID, size int64, nfields int, parent OID) (*Object, Gre
 		grew.Added = 1
 	}
 
-	obj := &Object{
-		OID:       oid,
-		Size:      size,
-		Partition: target.ID,
-		Addr:      target.Base + Addr(target.used),
-		Fields:    make([]OID, nfields),
-		Weight:    MaxWeight,
-	}
+	obj := h.newObject(oid, size, nfields)
+	obj.Partition = target.ID
+	obj.Addr = target.Base + Addr(target.used)
 	target.used += size
-	target.objects[oid] = struct{}{}
+	h.freeFix(target.ID)
+	h.residentAdd(target, obj)
+	if oid >= OID(len(h.table)) {
+		h.growTable(oid)
+	}
 	h.table[oid] = obj
+	h.numObjects++
+	h.occupied += size
 	h.totalAllocated += size
 	h.totalObjects++
 	return obj, grew, nil
 }
 
+// newObject takes an Object record from the recycle pool (or the Go heap)
+// and initializes it.
+func (h *Heap) newObject(oid OID, size int64, nfields int) *Object {
+	var obj *Object
+	if n := len(h.pool); n > 0 {
+		obj = h.pool[n-1]
+		h.pool = h.pool[:n-1]
+	} else {
+		obj = new(Object)
+	}
+	if cap(obj.Fields) >= nfields {
+		obj.Fields = obj.Fields[:nfields]
+		clear(obj.Fields)
+	} else {
+		obj.Fields = make([]OID, nfields)
+	}
+	obj.OID = oid
+	obj.Size = size
+	obj.Weight = MaxWeight
+	obj.root = false
+	return obj
+}
+
+// growTable extends the object table to cover oid, doubling so growth is
+// amortized O(1).
+func (h *Heap) growTable(oid OID) {
+	n := len(h.table) * 2
+	if n <= int(oid) {
+		n = int(oid) + 1
+	}
+	if n < 64 {
+		n = 64
+	}
+	grown := make([]*Object, n)
+	copy(grown, h.table)
+	h.table = grown
+}
+
+// residentAdd appends obj to p's resident set, recording its slot.
+func (h *Heap) residentAdd(p *Partition, obj *Object) {
+	obj.resIdx = int32(len(p.objects))
+	p.objects = append(p.objects, obj.OID)
+}
+
+// residentRemove removes obj from p's resident set by swapping the last
+// element into its slot.
+func (h *Heap) residentRemove(p *Partition, obj *Object) {
+	i := obj.resIdx
+	last := int32(len(p.objects) - 1)
+	moved := p.objects[last]
+	p.objects[i] = moved
+	h.table[moved].resIdx = i
+	p.objects = p.objects[:last]
+	obj.resIdx = -1
+}
+
 // placeFor chooses the partition for a new object of the given size, or nil
-// if no resident partition has room. The reserved empty partition is never
-// an allocation target.
+// if no resident partition has room: the parent's partition when the object
+// fits there, otherwise the partition with the most free space (ties toward
+// the lowest ID). The reserved empty partition is never an allocation
+// target.
 func (h *Heap) placeFor(size int64, parent OID) *Partition {
 	partBytes := h.cfg.PartitionBytes()
 	if parent != NilOID {
-		if po := h.table[parent]; po != nil && po.Partition != h.empty {
+		if po := h.Get(parent); po != nil && po.Partition != h.empty {
 			p := h.parts[po.Partition]
 			if partBytes-p.used >= size {
 				return p
 			}
 		}
 	}
-	var best *Partition
-	var bestFree int64
-	for _, p := range h.parts {
-		if p.ID == h.empty {
-			continue
-		}
-		if free := partBytes - p.used; free >= size && free > bestFree {
-			best, bestFree = p, free
-		}
+	if len(h.byFree) == 0 {
+		return nil
 	}
-	return best
+	best := h.parts[h.byFree[0]]
+	if partBytes-best.used >= size {
+		return best
+	}
+	return nil
 }
 
 // WriteField stores target into field f of src and returns the previous
 // value. It is the raw heap mutation; the write barrier in package gc wraps
 // it with remembered-set and policy bookkeeping.
 func (h *Heap) WriteField(src OID, f int, target OID) OID {
-	obj := h.table[src]
+	obj := h.Get(src)
 	if obj == nil {
 		panic(fmt.Sprintf("heap: WriteField(%d): no such object", src))
 	}
@@ -300,7 +407,7 @@ func (h *Heap) WriteField(src OID, f int, target OID) OID {
 // room, which would mean the collector copied more than one partition's
 // worth of data into one partition.
 func (h *Heap) Move(oid OID, dst PartitionID) {
-	obj := h.table[oid]
+	obj := h.Get(oid)
 	if obj == nil {
 		panic(fmt.Sprintf("heap: Move(%d): no such object", oid))
 	}
@@ -310,27 +417,33 @@ func (h *Heap) Move(oid OID, dst PartitionID) {
 			oid, dst, h.cfg.PartitionBytes()-to.used, obj.Size))
 	}
 	from := h.parts[obj.Partition]
-	delete(from.objects, oid)
+	h.residentRemove(from, obj)
 	// The source partition's bump offset is not decremented: evacuation
 	// frees space only when the whole partition is reset afterwards.
 	obj.Partition = dst
 	obj.Addr = to.Base + Addr(to.used)
 	to.used += obj.Size
-	to.objects[oid] = struct{}{}
+	h.occupied += obj.Size
+	h.freeFix(dst)
+	h.residentAdd(to, obj)
 }
 
-// Discard removes a dead object from the heap. Like Move, it does not give
-// space back to the source partition; ResetPartition does.
+// Discard removes a dead object from the heap and recycles its record.
+// Like Move, it does not give space back to the source partition;
+// ResetPartition does. The *Object is invalidated: the next Alloc may
+// reuse it.
 func (h *Heap) Discard(oid OID) {
-	obj := h.table[oid]
+	obj := h.Get(oid)
 	if obj == nil {
 		panic(fmt.Sprintf("heap: Discard(%d): no such object", oid))
 	}
-	if h.IsRoot(oid) {
+	if obj.root {
 		panic(fmt.Sprintf("heap: Discard(%d): object is a root", oid))
 	}
-	delete(h.parts[obj.Partition].objects, oid)
-	delete(h.table, oid)
+	h.residentRemove(h.parts[obj.Partition], obj)
+	h.table[oid] = nil
+	h.numObjects--
+	h.pool = append(h.pool, obj)
 }
 
 // ResetPartition marks a fully evacuated partition as empty again. It
@@ -340,7 +453,9 @@ func (h *Heap) ResetPartition(id PartitionID) {
 	if len(p.objects) != 0 {
 		panic(fmt.Sprintf("heap: ResetPartition(%d): %d objects still resident", id, len(p.objects)))
 	}
+	h.occupied -= p.used
 	p.used = 0
+	h.freeFix(id)
 }
 
 // PageRange returns the first and last page touched by the byte range
@@ -364,4 +479,89 @@ func (h *Heap) PartitionOfAddr(addr Addr) PartitionID {
 		return NoPartition
 	}
 	return id
+}
+
+// --- max-free partition index ---------------------------------------------
+//
+// byFree is a binary heap over allocatable partitions: the root is the
+// partition with the most free space, ties broken toward the lowest ID —
+// exactly the partition the old linear scan chose. Since every partition
+// has the same capacity, "most free" is "least used".
+
+// freeBefore reports whether partition a outranks b in the index.
+func (h *Heap) freeBefore(a, b PartitionID) bool {
+	ua, ub := h.parts[a].used, h.parts[b].used
+	return ua < ub || (ua == ub && a < b)
+}
+
+func (h *Heap) freeSwap(i, j int) {
+	h.byFree[i], h.byFree[j] = h.byFree[j], h.byFree[i]
+	h.freePos[h.byFree[i]] = int32(i)
+	h.freePos[h.byFree[j]] = int32(j)
+}
+
+func (h *Heap) freeUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.freeBefore(h.byFree[i], h.byFree[parent]) {
+			break
+		}
+		h.freeSwap(i, parent)
+		i = parent
+	}
+}
+
+func (h *Heap) freeDown(i int) {
+	n := len(h.byFree)
+	for {
+		best := i
+		if l := 2*i + 1; l < n && h.freeBefore(h.byFree[l], h.byFree[best]) {
+			best = l
+		}
+		if r := 2*i + 2; r < n && h.freeBefore(h.byFree[r], h.byFree[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.freeSwap(i, best)
+		i = best
+	}
+}
+
+// freeInsert adds partition p to the index; no-op if already present.
+func (h *Heap) freeInsert(p PartitionID) {
+	if h.freePos[p] >= 0 {
+		return
+	}
+	h.byFree = append(h.byFree, p)
+	h.freePos[p] = int32(len(h.byFree) - 1)
+	h.freeUp(len(h.byFree) - 1)
+}
+
+// freeRemove excludes partition p from the index; no-op if absent.
+func (h *Heap) freeRemove(p PartitionID) {
+	i := int(h.freePos[p])
+	if i < 0 {
+		return
+	}
+	last := len(h.byFree) - 1
+	h.freeSwap(i, last)
+	h.byFree = h.byFree[:last]
+	h.freePos[p] = -1
+	if i < last {
+		h.freeDown(i)
+		h.freeUp(i)
+	}
+}
+
+// freeFix restores p's heap position after its used count changed; no-op
+// when p is excluded (the reserved empty partition).
+func (h *Heap) freeFix(p PartitionID) {
+	i := int(h.freePos[p])
+	if i < 0 {
+		return
+	}
+	h.freeDown(i)
+	h.freeUp(int(h.freePos[p]))
 }

@@ -55,6 +55,12 @@ type Object struct {
 	// one, in [1, MaxWeight]. It is maintained by the WeightedPointer
 	// policy's write barrier and is meaningless under other policies.
 	Weight uint8
+
+	// root marks membership in the database root set (see Heap.AddRoot).
+	root bool
+	// resIdx is the object's slot in its partition's resident list, so
+	// removal is a swap-remove instead of a map delete.
+	resIdx int32
 }
 
 // End returns the address one past the object's last byte.

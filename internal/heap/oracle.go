@@ -5,26 +5,71 @@ package heap
 // Section 3.1) and for the metrics the paper reports: live bytes, garbage
 // per partition, and unreclaimed garbage over time.
 //
-// An Oracle holds reusable scratch space; it is not safe for concurrent use.
+// Visited marks are epoch-stamped generation counters indexed by OID (the
+// object table is dense), so a reachability pass performs no hashing and no
+// up-front clearing: bumping the epoch invalidates every previous mark.
+//
+// An Oracle holds reusable scratch space; it is not safe for concurrent
+// use, and each call invalidates the result of the previous one.
 type Oracle struct {
 	h     *Heap
-	seen  map[OID]struct{}
+	marks []uint32 // marks[oid] == epoch ⇔ oid reached this pass
+	epoch uint32
+	list  []OID // live OIDs in discovery order, reused across passes
 	queue []OID
+
+	garbage []int64 // GarbageByPartition scratch
 }
 
 // NewOracle returns an oracle over h.
 func NewOracle(h *Heap) *Oracle {
-	return &Oracle{h: h, seen: make(map[OID]struct{})}
+	return &Oracle{h: h}
+}
+
+// LiveSet is the result of one reachability pass: a read-only view into the
+// oracle's scratch space, invalidated by the oracle's next call.
+type LiveSet struct {
+	marks []uint32
+	epoch uint32
+	oids  []OID
+}
+
+// Contains reports whether oid was reachable when the set was computed.
+func (s LiveSet) Contains(oid OID) bool {
+	return oid < OID(len(s.marks)) && s.marks[oid] == s.epoch
+}
+
+// Len reports the number of reachable objects.
+func (s LiveSet) Len() int { return len(s.oids) }
+
+// ForEach calls fn for every reachable OID, in the deterministic order the
+// marking pass discovered them (roots first, then breadth of the forest).
+func (s LiveSet) ForEach(fn func(OID)) {
+	for _, oid := range s.oids {
+		fn(oid)
+	}
 }
 
 // Live returns the set of OIDs reachable from the root set. The returned
-// map is scratch space owned by the oracle and is invalidated by the next
+// view is scratch space owned by the oracle and is invalidated by the next
 // oracle call.
-func (o *Oracle) Live() map[OID]struct{} {
-	clear(o.seen)
+func (o *Oracle) Live() LiveSet {
+	o.epoch++
+	if o.epoch == 0 { // uint32 wraparound: old stamps become ambiguous
+		clear(o.marks)
+		o.epoch = 1
+	}
+	if n := int(o.h.OIDBound()); n > len(o.marks) {
+		o.marks = append(o.marks, make([]uint32, n-len(o.marks))...)
+	}
+	o.list = o.list[:0]
 	o.queue = o.queue[:0]
 	o.h.Roots(func(r OID) {
-		o.seen[r] = struct{}{}
+		if o.marks[r] == o.epoch {
+			return
+		}
+		o.marks[r] = o.epoch
+		o.list = append(o.list, r)
 		o.queue = append(o.queue, r)
 	})
 	for len(o.queue) > 0 {
@@ -35,41 +80,48 @@ func (o *Oracle) Live() map[OID]struct{} {
 			if f == NilOID {
 				continue
 			}
-			if _, ok := o.seen[f]; ok {
+			if f < OID(len(o.marks)) && o.marks[f] == o.epoch {
 				continue
 			}
 			if !o.h.Contains(f) {
 				continue
 			}
-			o.seen[f] = struct{}{}
+			o.marks[f] = o.epoch
+			o.list = append(o.list, f)
 			o.queue = append(o.queue, f)
 		}
 	}
-	return o.seen
+	return LiveSet{marks: o.marks, epoch: o.epoch, oids: o.list}
 }
 
 // LiveBytes returns the total size of all reachable objects.
 func (o *Oracle) LiveBytes() int64 {
+	o.Live()
 	var n int64
-	for oid := range o.Live() {
+	for _, oid := range o.list {
 		n += o.h.Get(oid).Size
 	}
 	return n
 }
 
 // GarbageByPartition returns, for each partition, the bytes occupied by
-// unreachable objects. Index is the PartitionID.
+// unreachable objects. Index is the PartitionID. The returned slice is
+// scratch space owned by the oracle and is invalidated by the next call.
 func (o *Oracle) GarbageByPartition() []int64 {
-	live := o.Live()
-	garbage := make([]int64, o.h.NumPartitions())
-	for id := range garbage {
-		garbage[id] = o.h.Partition(PartitionID(id)).Used()
+	o.Live()
+	if n := o.h.NumPartitions(); cap(o.garbage) < n {
+		o.garbage = make([]int64, n)
+	} else {
+		o.garbage = o.garbage[:n]
 	}
-	for oid := range live {
+	for id := range o.garbage {
+		o.garbage[id] = o.h.Partition(PartitionID(id)).Used()
+	}
+	for _, oid := range o.list {
 		obj := o.h.Get(oid)
-		garbage[obj.Partition] -= obj.Size
+		o.garbage[obj.Partition] -= obj.Size
 	}
-	return garbage
+	return o.garbage
 }
 
 // UnreclaimedGarbageBytes returns the bytes occupied by unreachable objects

@@ -25,11 +25,11 @@ func TestOracleLive(t *testing.T) {
 	h := buildGraph(t)
 	live := NewOracle(h).Live()
 	want := map[OID]bool{1: true, 2: true, 3: true, 4: true}
-	if len(live) != len(want) {
-		t.Fatalf("live set size %d, want %d (%v)", len(live), len(want), live)
+	if live.Len() != len(want) {
+		t.Fatalf("live set size %d, want %d", live.Len(), len(want))
 	}
 	for oid := range want {
-		if _, ok := live[oid]; !ok {
+		if !live.Contains(oid) {
 			t.Errorf("live set missing %d", oid)
 		}
 	}
@@ -111,8 +111,8 @@ func TestOracleHandlesCycles(t *testing.T) {
 	h.WriteField(2, 0, 3)
 	h.WriteField(3, 0, 1) // cycle back to root
 	live := NewOracle(h).Live()
-	if len(live) != 3 {
-		t.Fatalf("live set size %d, want 3", len(live))
+	if live.Len() != 3 {
+		t.Fatalf("live set size %d, want 3", live.Len())
 	}
 	// Unreachable cycle is garbage.
 	mustAlloc(t, h, 4, 100, 1, NilOID)

@@ -171,12 +171,12 @@ func TestOracleMatchesBruteForce(t *testing.T) {
 
 		o := NewOracle(h)
 		got := o.Live()
-		if len(got) != len(live) {
-			t.Errorf("live size %d, brute force %d", len(got), len(live))
+		if got.Len() != len(live) {
+			t.Errorf("live size %d, brute force %d", got.Len(), len(live))
 			return false
 		}
 		for oid := range live {
-			if _, ok := got[oid]; !ok {
+			if !got.Contains(oid) {
 				t.Errorf("oracle missing live %d", oid)
 				return false
 			}

@@ -1,0 +1,27 @@
+package remset
+
+import (
+	"testing"
+
+	"odbgc/internal/heap"
+)
+
+// PointerWrite is the write-barrier fast path — it runs for every pointer
+// store the simulator replays — so in steady state it must not allocate.
+func TestPointerWriteZeroAllocs(t *testing.T) {
+	h, src, target := buildHeap(t)
+	tab := New(h)
+
+	// Warm up: populate the entry and out-set stores once so their maps
+	// and slices have capacity.
+	tab.PointerWrite(src, 0, heap.NilOID, target)
+	tab.PointerWrite(src, 0, target, heap.NilOID)
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		tab.PointerWrite(src, 0, heap.NilOID, target) // install remembered entry
+		tab.PointerWrite(src, 0, target, heap.NilOID) // retract it
+	})
+	if allocs != 0 {
+		t.Fatalf("PointerWrite steady state: %v allocs/op, want 0", allocs)
+	}
+}

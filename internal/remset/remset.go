@@ -12,11 +12,17 @@
 //
 // Like the paper's implementation, these are auxiliary in-memory
 // structures and contribute no page I/O.
+//
+// The write barrier is the hottest path in the simulator, so the stores are
+// flat: each partition keeps its entries in a slice keyed by the packed
+// location Src<<16|Field (one map lookup per mutation, no struct hashing),
+// out-counts live in a dense slice indexed by OID, and the sorted
+// enumerations reuse scratch buffers instead of allocating per collection.
 package remset
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"odbgc/internal/heap"
 )
@@ -27,28 +33,149 @@ type Entry struct {
 	Field int
 }
 
+// fieldBits is the width of the field number in a packed entry key.
+const fieldBits = 16
+
+// packKey packs a pointer location into one comparable word. Sorting packed
+// keys ascending is exactly "by Src, then Field" — the deterministic order
+// RootsInto promises.
+func packKey(src heap.OID, f int) uint64 {
+	if uint64(f) >= 1<<fieldBits {
+		panic(fmt.Sprintf("remset: field %d overflows the packed entry key", f))
+	}
+	if uint64(src) >= 1<<(64-fieldBits) {
+		panic(fmt.Sprintf("remset: OID %d overflows the packed entry key", src))
+	}
+	return uint64(src)<<fieldBits | uint64(f)
+}
+
+func unpackKey(k uint64) Entry {
+	return Entry{Src: heap.OID(k >> fieldBits), Field: int(k & (1<<fieldBits - 1))}
+}
+
+// inEntry is one remembered pointer: a packed location and the target OID
+// its pointer held when recorded.
+type inEntry struct {
+	key    uint64
+	target heap.OID
+}
+
+// inSet is one partition's remembered set: an unordered slice of entries
+// plus a location→slot index. Removal is a swap with the last entry.
+type inSet struct {
+	entries []inEntry
+	pos     map[uint64]int32
+}
+
+func (s *inSet) add(k uint64, target heap.OID) bool {
+	if s.pos == nil {
+		s.pos = make(map[uint64]int32)
+	}
+	if _, dup := s.pos[k]; dup {
+		return false
+	}
+	s.pos[k] = int32(len(s.entries))
+	s.entries = append(s.entries, inEntry{key: k, target: target})
+	return true
+}
+
+func (s *inSet) remove(k uint64) bool {
+	i, ok := s.pos[k]
+	if !ok {
+		return false
+	}
+	last := int32(len(s.entries) - 1)
+	moved := s.entries[last]
+	s.entries[i] = moved
+	s.pos[moved.key] = i
+	s.entries = s.entries[:last]
+	delete(s.pos, k)
+	return true
+}
+
+// outSet is one partition's out-of-partition set: the resident OIDs holding
+// inter-partition out-pointers, slice plus membership index.
+type outSet struct {
+	oids []heap.OID
+	pos  map[heap.OID]int32
+}
+
+func (s *outSet) add(oid heap.OID) {
+	if s.pos == nil {
+		s.pos = make(map[heap.OID]int32)
+	}
+	s.pos[oid] = int32(len(s.oids))
+	s.oids = append(s.oids, oid)
+}
+
+func (s *outSet) remove(oid heap.OID) {
+	i, ok := s.pos[oid]
+	if !ok {
+		return
+	}
+	last := int32(len(s.oids) - 1)
+	moved := s.oids[last]
+	s.oids[i] = moved
+	s.pos[moved] = i
+	s.oids = s.oids[:last]
+	delete(s.pos, oid)
+}
+
 // Table holds the remembered sets and out-of-partition sets for a heap.
 type Table struct {
 	h *heap.Heap
-	// in[P] maps each inter-partition pointer location whose value points
-	// into P to the target OID it held when recorded.
-	in map[heap.PartitionID]map[Entry]heap.OID
+	// in[P] records each inter-partition pointer location whose value
+	// points into P, with the target OID it held when recorded.
+	in []inSet
 	// out[P] is the set of P-resident objects with at least one
 	// inter-partition out-pointer.
-	out map[heap.PartitionID]map[heap.OID]struct{}
-	// outCount tracks, per object, how many of its fields currently hold
+	out []outSet
+	// outCount[oid] is how many of the object's fields currently hold
 	// inter-partition pointers, so out-set membership stays precise.
-	outCount map[heap.OID]int
+	outCount []int32
+
+	// scratch buffers for the sorted enumerations, reused per collection.
+	entryScratch []inEntry
+	oidScratch   []heap.OID
 }
 
 // New returns an empty table over h.
 func New(h *heap.Heap) *Table {
-	return &Table{
-		h:        h,
-		in:       make(map[heap.PartitionID]map[Entry]heap.OID),
-		out:      make(map[heap.PartitionID]map[heap.OID]struct{}),
-		outCount: make(map[heap.OID]int),
+	return &Table{h: h}
+}
+
+// inAt returns the remembered set of p, growing the store on demand.
+func (t *Table) inAt(p heap.PartitionID) *inSet {
+	for int(p) >= len(t.in) {
+		t.in = append(t.in, inSet{})
 	}
+	return &t.in[p]
+}
+
+// outAt returns the out-set of p, growing the store on demand.
+func (t *Table) outAt(p heap.PartitionID) *outSet {
+	for int(p) >= len(t.out) {
+		t.out = append(t.out, outSet{})
+	}
+	return &t.out[p]
+}
+
+// countAt returns a pointer to oid's out-count, growing the store on
+// demand.
+func (t *Table) countAt(oid heap.OID) *int32 {
+	if int(oid) >= len(t.outCount) {
+		n := len(t.outCount) * 2
+		if n <= int(oid) {
+			n = int(oid) + 1
+		}
+		if n < 64 {
+			n = 64
+		}
+		grown := make([]int32, n)
+		copy(grown, t.outCount)
+		t.outCount = grown
+	}
+	return &t.outCount[oid]
 }
 
 // PointerWrite records the effect of storing new into field f of src,
@@ -58,48 +185,38 @@ func (t *Table) PointerWrite(src heap.OID, f int, old, new heap.OID) {
 	srcPart := t.h.Get(src).Partition
 	if old != heap.NilOID {
 		if oldObj := t.h.Get(old); oldObj != nil && oldObj.Partition != srcPart {
-			t.remove(oldObj.Partition, Entry{src, f}, srcPart)
+			t.remove(oldObj.Partition, src, f, srcPart)
 		}
 	}
 	if new != heap.NilOID {
 		if newObj := t.h.Get(new); newObj != nil && newObj.Partition != srcPart {
-			t.add(newObj.Partition, Entry{src, f}, new, srcPart)
+			t.add(newObj.Partition, src, f, new, srcPart)
 		}
 	}
 }
 
-func (t *Table) add(target heap.PartitionID, e Entry, to heap.OID, srcPart heap.PartitionID) {
-	set := t.in[target]
-	if set == nil {
-		set = make(map[Entry]heap.OID)
-		t.in[target] = set
+func (t *Table) add(target heap.PartitionID, src heap.OID, f int, to heap.OID, srcPart heap.PartitionID) {
+	if !t.inAt(target).add(packKey(src, f), to) {
+		panic(fmt.Sprintf("remset: duplicate entry %+v into partition %d", Entry{src, f}, target))
 	}
-	if _, dup := set[e]; dup {
-		panic(fmt.Sprintf("remset: duplicate entry %+v into partition %d", e, target))
+	cnt := t.countAt(src)
+	*cnt++
+	if *cnt == 1 {
+		t.outAt(srcPart).add(src)
 	}
-	set[e] = to
-	t.outCount[e.Src]++
-	outs := t.out[srcPart]
-	if outs == nil {
-		outs = make(map[heap.OID]struct{})
-		t.out[srcPart] = outs
-	}
-	outs[e.Src] = struct{}{}
 }
 
-func (t *Table) remove(target heap.PartitionID, e Entry, srcPart heap.PartitionID) {
-	set := t.in[target]
-	if _, ok := set[e]; !ok {
-		panic(fmt.Sprintf("remset: removing absent entry %+v from partition %d", e, target))
+func (t *Table) remove(target heap.PartitionID, src heap.OID, f int, srcPart heap.PartitionID) {
+	if !t.inAt(target).remove(packKey(src, f)) {
+		panic(fmt.Sprintf("remset: removing absent entry %+v from partition %d", Entry{src, f}, target))
 	}
-	delete(set, e)
-	t.outCount[e.Src]--
-	switch n := t.outCount[e.Src]; {
-	case n < 0:
-		panic(fmt.Sprintf("remset: negative out-count for %d", e.Src))
-	case n == 0:
-		delete(t.outCount, e.Src)
-		delete(t.out[srcPart], e.Src)
+	cnt := t.countAt(src)
+	*cnt--
+	switch {
+	case *cnt < 0:
+		panic(fmt.Sprintf("remset: negative out-count for %d", src))
+	case *cnt == 0:
+		t.outAt(srcPart).remove(src)
 	}
 }
 
@@ -117,7 +234,7 @@ func (t *Table) PurgeDeadEvacuating(oid heap.OID, dest heap.PartitionID) {
 	if obj == nil {
 		panic(fmt.Sprintf("remset: PurgeDead(%d): no such object", oid))
 	}
-	if t.outCount[oid] == 0 {
+	if t.OutCount(oid) == 0 {
 		return
 	}
 	for f, target := range obj.Fields {
@@ -131,9 +248,9 @@ func (t *Table) PurgeDeadEvacuating(oid heap.OID, dest heap.PartitionID) {
 		if dest != heap.NoPartition && tObj.Partition == dest {
 			continue // was intra-partition before the target moved
 		}
-		t.remove(tObj.Partition, Entry{oid, f}, obj.Partition)
+		t.remove(tObj.Partition, oid, f, obj.Partition)
 	}
-	if n := t.outCount[oid]; n != 0 {
+	if n := t.OutCount(oid); n != 0 {
 		panic(fmt.Sprintf("remset: PurgeDead(%d) left out-count %d", oid, n))
 	}
 }
@@ -144,16 +261,11 @@ func (t *Table) PurgeDeadEvacuating(oid heap.OID, dest heap.PartitionID) {
 // update here; Rekey handles the entries pointing *into* the collected
 // partition.
 func (t *Table) Moved(oid heap.OID, from, to heap.PartitionID) {
-	if t.outCount[oid] == 0 {
+	if t.OutCount(oid) == 0 {
 		return
 	}
-	delete(t.out[from], oid)
-	outs := t.out[to]
-	if outs == nil {
-		outs = make(map[heap.OID]struct{})
-		t.out[to] = outs
-	}
-	outs[oid] = struct{}{}
+	t.outAt(from).remove(oid)
+	t.outAt(to).add(oid)
 }
 
 // Rekey transfers the remembered set of an evacuated partition to the
@@ -162,14 +274,15 @@ func (t *Table) Moved(oid heap.OID, from, to heap.PartitionID) {
 // was therefore copied. It panics if dest already has entries of its own,
 // which would mean dest was not empty.
 func (t *Table) Rekey(victim, dest heap.PartitionID) {
-	if len(t.in[dest]) != 0 {
+	t.inAt(victim) // ensure both stores exist
+	d := t.inAt(dest)
+	if len(d.entries) != 0 {
 		panic(fmt.Sprintf("remset: Rekey into non-empty partition %d", dest))
 	}
-	if set := t.in[victim]; len(set) != 0 {
-		t.in[dest] = set
-	}
-	delete(t.in, victim)
-	if len(t.out[victim]) != 0 {
+	v := &t.in[victim]
+	// Swap the sets so the victim keeps dest's (empty) buffers for reuse.
+	*d, *v = *v, *d
+	if int(victim) < len(t.out) && len(t.out[victim].oids) != 0 {
 		panic(fmt.Sprintf("remset: Rekey(%d): out-set not drained", victim))
 	}
 }
@@ -178,47 +291,61 @@ func (t *Table) Rekey(victim, dest heap.PartitionID) {
 // deterministic order (sorted by source OID, then field). The target OID
 // passed to fn is the pointer's recorded value.
 func (t *Table) RootsInto(p heap.PartitionID, fn func(e Entry, target heap.OID)) {
-	set := t.in[p]
-	if len(set) == 0 {
+	if int(p) >= len(t.in) {
 		return
 	}
-	entries := make([]Entry, 0, len(set))
-	for e := range set {
-		entries = append(entries, e)
+	s := &t.in[p]
+	if len(s.entries) == 0 {
+		return
 	}
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].Src != entries[j].Src {
-			return entries[i].Src < entries[j].Src
+	t.entryScratch = append(t.entryScratch[:0], s.entries...)
+	slices.SortFunc(t.entryScratch, func(a, b inEntry) int {
+		switch {
+		case a.key < b.key:
+			return -1
+		case a.key > b.key:
+			return 1
+		default:
+			return 0
 		}
-		return entries[i].Field < entries[j].Field
 	})
-	for _, e := range entries {
-		fn(e, set[e])
+	for _, e := range t.entryScratch {
+		fn(unpackKey(e.key), e.target)
 	}
 }
 
 // InCount reports the number of remembered pointers into partition p.
-func (t *Table) InCount(p heap.PartitionID) int { return len(t.in[p]) }
+func (t *Table) InCount(p heap.PartitionID) int {
+	if int(p) >= len(t.in) {
+		return 0
+	}
+	return len(t.in[p].entries)
+}
 
 // OutSet calls fn for every object in partition p holding inter-partition
 // out-pointers, in ascending OID order.
 func (t *Table) OutSet(p heap.PartitionID, fn func(heap.OID)) {
-	set := t.out[p]
-	if len(set) == 0 {
+	if int(p) >= len(t.out) {
 		return
 	}
-	oids := make([]heap.OID, 0, len(set))
-	for oid := range set {
-		oids = append(oids, oid)
+	s := &t.out[p]
+	if len(s.oids) == 0 {
+		return
 	}
-	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
-	for _, oid := range oids {
+	t.oidScratch = append(t.oidScratch[:0], s.oids...)
+	slices.Sort(t.oidScratch)
+	for _, oid := range t.oidScratch {
 		fn(oid)
 	}
 }
 
 // OutCount reports how many of oid's fields hold inter-partition pointers.
-func (t *Table) OutCount(oid heap.OID) int { return t.outCount[oid] }
+func (t *Table) OutCount(oid heap.OID) int {
+	if int(oid) >= len(t.outCount) {
+		return 0
+	}
+	return int(t.outCount[oid])
+}
 
 // Audit verifies the table against a brute-force scan of the heap,
 // returning a description of the first inconsistency found, or "" if the
@@ -260,35 +387,42 @@ func (t *Table) Audit() string {
 
 	for pid, set := range want {
 		for e, r := range set {
-			got, ok := t.in[pid][e]
+			if int(pid) >= len(t.in) {
+				return fmt.Sprintf("missing entry %+v into partition %d", e, pid)
+			}
+			i, ok := t.in[pid].pos[packKey(e.Src, e.Field)]
 			if !ok {
 				return fmt.Sprintf("missing entry %+v into partition %d", e, pid)
 			}
-			if got != r.target {
+			if got := t.in[pid].entries[i].target; got != r.target {
 				return fmt.Sprintf("entry %+v records target %d, heap has %d", e, got, r.target)
 			}
 		}
 	}
-	for pid, set := range t.in {
-		for e := range set {
-			if _, ok := want[pid][e]; !ok {
-				return fmt.Sprintf("stale entry %+v into partition %d", e, pid)
+	for pid := range t.in {
+		for _, ie := range t.in[pid].entries {
+			if _, ok := want[heap.PartitionID(pid)][unpackKey(ie.key)]; !ok {
+				return fmt.Sprintf("stale entry %+v into partition %d", unpackKey(ie.key), pid)
 			}
 		}
 	}
 	for pid, outs := range wantOut {
 		for oid, n := range outs {
-			if _, ok := t.out[pid][oid]; !ok {
+			member := false
+			if int(pid) < len(t.out) {
+				_, member = t.out[pid].pos[oid]
+			}
+			if !member {
 				return fmt.Sprintf("object %d missing from out-set of partition %d", oid, pid)
 			}
-			if t.outCount[oid] != n {
-				return fmt.Sprintf("object %d out-count %d, want %d", oid, t.outCount[oid], n)
+			if t.OutCount(oid) != n {
+				return fmt.Sprintf("object %d out-count %d, want %d", oid, t.OutCount(oid), n)
 			}
 		}
 	}
-	for pid, outs := range t.out {
-		for oid := range outs {
-			if wantOut[pid][oid] == 0 {
+	for pid := range t.out {
+		for _, oid := range t.out[pid].oids {
+			if wantOut[heap.PartitionID(pid)][oid] == 0 {
 				return fmt.Sprintf("stale out-set member %d in partition %d", oid, pid)
 			}
 		}

@@ -23,10 +23,10 @@ type PartitionInfo struct {
 func (s *Sim) InspectPartitions() []PartitionInfo {
 	live := s.oracle.Live()
 	liveBytes := make([]int64, s.h.NumPartitions())
-	for oid := range live {
+	live.ForEach(func(oid heap.OID) {
 		obj := s.h.Get(oid)
 		liveBytes[obj.Partition] += obj.Size
-	}
+	})
 	out := make([]PartitionInfo, s.h.NumPartitions())
 	for i := range out {
 		pid := heap.PartitionID(i)

@@ -88,7 +88,7 @@ type Config struct {
 
 // DefaultConfig returns the simulator configuration for the paper's
 // Tables 2–4: 48-page partitions, buffer equal to a partition, collection
-// every 200 overwrites.
+// every 280 overwrites.
 func DefaultConfig(policy string) Config {
 	return Config{
 		Policy:            policy,

@@ -58,8 +58,7 @@ type node struct {
 
 // tree is one augmented binary tree.
 type tree struct {
-	root  heap.OID
-	nodes map[heap.OID]*node
+	root heap.OID
 	// alive is a sampling pool for uniform picks; dead entries are
 	// compacted lazily. aliveCount is the exact number of alive nodes.
 	alive      []heap.OID
@@ -73,7 +72,11 @@ type Generator struct {
 	rng  *rand.Rand
 	sink trace.Sink
 
-	trees      []*tree
+	trees []*tree
+	// nodes is the node store, indexed by OID (OIDs are handed out
+	// sequentially). Slots holding large-leaf OIDs stay zero and are never
+	// looked up.
+	nodes      []node
 	nextOID    heap.OID
 	totalAlive int
 
@@ -199,13 +202,16 @@ func (g *Generator) createNode(t *tree, parent heap.OID, parentField int) (heap.
 	}); err != nil {
 		return 0, err
 	}
-	n := &node{oid: oid, size: size, alive: true}
-	t.nodes[oid] = n
+	if want := int(oid) + 1; want > len(g.nodes) {
+		g.nodes = append(g.nodes, make([]node, want-len(g.nodes))...)
+	}
+	n := &g.nodes[oid]
+	*n = node{oid: oid, size: size, alive: true}
 	t.alive = append(t.alive, oid)
 	t.aliveCount++
 	g.totalAlive++
 	if parent != heap.NilOID {
-		t.nodes[parent].kids[parentField] = oid
+		g.nodes[parent].kids[parentField] = oid
 	}
 	g.liveBytes += size
 	g.allocBytes += size
@@ -252,7 +258,7 @@ func (g *Generator) buildTreeSized(target int) error {
 	if target < 2 {
 		target = 2
 	}
-	t := &tree{nodes: make(map[heap.OID]*node)}
+	t := &tree{}
 	root, err := g.createNode(t, heap.NilOID, 0)
 	if err != nil {
 		return err
@@ -288,7 +294,7 @@ func (g *Generator) pickAlive(t *tree) heap.OID {
 	for len(t.alive) > 0 {
 		i := g.rng.Intn(len(t.alive))
 		oid := t.alive[i]
-		if n := t.nodes[oid]; n != nil && n.alive {
+		if g.nodes[oid].alive {
 			return oid
 		}
 		t.alive[i] = t.alive[len(t.alive)-1]
@@ -356,7 +362,7 @@ func (g *Generator) visit(t *tree, oid heap.OID) error {
 	if err := g.emit(trace.Event{Kind: trace.KindRead, OID: oid}); err != nil {
 		return err
 	}
-	n := t.nodes[oid]
+	n := &g.nodes[oid]
 	if n.largeOID != heap.NilOID && g.rng.Float64() < g.cfg.PReadLarge {
 		if err := g.emit(trace.Event{Kind: trace.KindRead, OID: n.largeOID}); err != nil {
 			return err
@@ -374,7 +380,7 @@ func (g *Generator) traverseDepthFirst(t *tree, oid heap.OID) error {
 	if err := g.visit(t, oid); err != nil {
 		return err
 	}
-	n := t.nodes[oid]
+	n := &g.nodes[oid]
 	for _, kid := range n.kids {
 		if kid == heap.NilOID {
 			continue
@@ -397,7 +403,7 @@ func (g *Generator) traverseBreadthFirst(t *tree) error {
 		if err := g.visit(t, oid); err != nil {
 			return err
 		}
-		for _, kid := range t.nodes[oid].kids {
+		for _, kid := range g.nodes[oid].kids {
 			if kid == heap.NilOID {
 				continue
 			}
@@ -426,7 +432,7 @@ func (g *Generator) deleteRandomEdge() (bool, error) {
 		if oid == heap.NilOID {
 			continue
 		}
-		n := t.nodes[oid]
+		n := &g.nodes[oid]
 		f := g.rng.Intn(2)
 		if n.kids[f] == heap.NilOID {
 			f = 1 - f
@@ -453,8 +459,8 @@ func (g *Generator) killSubtree(t *tree, oid heap.OID) {
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		n := t.nodes[cur]
-		if n == nil || !n.alive {
+		n := &g.nodes[cur]
+		if !n.alive {
 			continue
 		}
 		n.alive = false
