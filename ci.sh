@@ -10,3 +10,7 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/sim ./internal/gc
+# Scheduler / trace-cache smoke under the race detector: the suite-wide
+# orchestration (worker pool + shared cache) and the cache's concurrent
+# generation paths.
+go test -race -run 'Suite|Scheduler|TraceCache|RunRecorded' ./internal/experiments ./internal/workload

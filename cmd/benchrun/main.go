@@ -7,6 +7,12 @@
 //
 //	go run ./cmd/benchrun -label baseline
 //	go run ./cmd/benchrun -label after -bench 'Table2Throughput|CollectorOnly'
+//	go run ./cmd/benchrun -suite
+//
+// -suite is a preset for the orchestration benchmark: it runs
+// BenchmarkSuiteWallClock (serial vs serial+cache vs parallel+cache) in
+// ./internal/experiments and writes results/bench/BENCH_suite.json;
+// -label, -bench, -benchtime, -count, -pkg, and -out still override.
 //
 // The file is written to -out (default ".") as BENCH_<label>.json and holds
 // one record per benchmark: name, iterations, ns/op, B/op, allocs/op, and
@@ -60,7 +66,27 @@ func main() {
 	count := flag.Int("count", 1, "value passed to go test -count")
 	pkg := flag.String("pkg", ".", "package pattern to benchmark")
 	out := flag.String("out", ".", "directory for the output file")
+	suite := flag.Bool("suite", false, "preset: record the suite wall-clock benchmark to results/bench/BENCH_suite.json")
 	flag.Parse()
+	if *suite {
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["label"] {
+			*label = "suite"
+		}
+		if !set["bench"] {
+			*bench = "BenchmarkSuiteWallClock"
+		}
+		if !set["benchtime"] {
+			*benchtime = "1x"
+		}
+		if !set["pkg"] {
+			*pkg = "./internal/experiments"
+		}
+		if !set["out"] {
+			*out = "results/bench"
+		}
+	}
 	if *label == "" {
 		fmt.Fprintln(os.Stderr, "benchrun: -label is required")
 		flag.Usage()
@@ -109,6 +135,10 @@ func main() {
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchrun: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintf(os.Stderr, "benchrun: %v\n", err)
 		os.Exit(1)
 	}

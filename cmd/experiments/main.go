@@ -4,10 +4,14 @@
 //
 // Usage:
 //
-//	experiments [-seeds N] [-outdir DIR] [-tables] [-table5] [-fig45] [-fig6]
+//	experiments [-seeds N] [-workers N] [-outdir DIR]
+//	            [-tables] [-table5] [-fig45] [-fig6]
+//	            [-tracecache MB] [-cpuprofile FILE] [-memprofile FILE]
 //
-// With no selection flags, everything runs. Tables go to stdout; figure
-// CSVs go to outdir (default "results").
+// With no selection flags, everything runs. All selected families drain
+// through one scheduler worker pool sharing one workload-trace cache, so
+// a trace is generated once no matter how many policies replay it.
+// Tables go to stdout; figure CSVs go to outdir (default "results").
 package main
 
 import (
@@ -15,6 +19,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"odbgc/internal/experiments"
 	"odbgc/internal/stats"
@@ -22,15 +28,19 @@ import (
 
 func main() {
 	var (
-		seeds  = flag.Int("seeds", 10, "seeded runs per configuration (the paper uses 10)")
-		outdir = flag.String("outdir", "results", "directory for figure CSV files")
-		tables = flag.Bool("tables", false, "run Tables 2-4 (base configuration)")
-		table5 = flag.Bool("table5", false, "run Table 5 (connectivity sweep)")
-		fig45  = flag.Bool("fig45", false, "run Figures 4 and 5 (time-varying behavior)")
-		fig6   = flag.Bool("fig6", false, "run Figure 6 (scalability sweep)")
-		sens   = flag.Bool("sensitivity", false, "run trigger and partition-size sensitivity sweeps (extension)")
-		abl    = flag.Bool("ablations", false, "run extension ablations at full scale (extension)")
-		quiet  = flag.Bool("q", false, "suppress progress output")
+		seeds      = flag.Int("seeds", 10, "seeded runs per configuration (the paper uses 10)")
+		workers    = flag.Int("workers", 0, "scheduler worker goroutines (0 = GOMAXPROCS)")
+		cacheMB    = flag.Int64("tracecache", 256, "workload trace cache budget in MB (0 disables the cache)")
+		outdir     = flag.String("outdir", "results", "directory for figure CSV files")
+		tables     = flag.Bool("tables", false, "run Tables 2-4 (base configuration)")
+		table5     = flag.Bool("table5", false, "run Table 5 (connectivity sweep)")
+		fig45      = flag.Bool("fig45", false, "run Figures 4 and 5 (time-varying behavior)")
+		fig6       = flag.Bool("fig6", false, "run Figure 6 (scalability sweep)")
+		sens       = flag.Bool("sensitivity", false, "run trigger and partition-size sensitivity sweeps (extension)")
+		abl        = flag.Bool("ablations", false, "run extension ablations at full scale (extension)")
+		quiet      = flag.Bool("q", false, "suppress progress output")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -44,30 +54,54 @@ func main() {
 	if err := os.MkdirAll(*outdir, 0o755); err != nil {
 		fatal(err)
 	}
-
-	if all || *tables {
-		run, err := experiments.RunBase(*seeds, progress)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println(run.Table2())
-		fmt.Println(run.Table3())
-		fmt.Println(run.Table4())
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
-	if all || *table5 {
-		res, err := experiments.RunTable5(*seeds, progress)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(res.Table())
+	opts := experiments.SuiteOptions{
+		Seeds:       *seeds,
+		Workers:     *workers,
+		Tables:      all || *tables,
+		Table5:      all || *table5,
+		Figures45:   all || *fig45,
+		Figure6:     all || *fig6,
+		Sensitivity: *sens, // extension sweeps run only on request
+		Ablations:   *abl,  // extension ablations run only on request
+	}
+	if *cacheMB <= 0 {
+		opts.TraceCacheBytes = -1
+	} else {
+		opts.TraceCacheBytes = *cacheMB << 20
 	}
 
-	if all || *fig45 {
-		figs, err := experiments.RunFigures4And5(progress)
-		if err != nil {
-			fatal(err)
-		}
+	res, err := experiments.RunSuite(opts, progress)
+	if err != nil {
+		fatal(err)
+	}
+	if !*quiet && opts.TraceCacheBytes > 0 {
+		c := res.Cache
+		fmt.Fprintf(os.Stderr, "trace cache: %d generated, %d replayed from cache, %d evicted, peak %d MB\n",
+			c.Misses, c.Hits, c.Evictions, c.PeakBytes>>20)
+	}
+
+	if res.Base != nil {
+		fmt.Println(res.Base.Table2())
+		fmt.Println(res.Base.Table3())
+		fmt.Println(res.Base.Table4())
+	}
+	if res.Table5 != nil {
+		fmt.Println(res.Table5.Table())
+	}
+	if res.Figures != nil {
+		figs := res.Figures
 		if err := writeCSV(filepath.Join(*outdir, "figure4_unreclaimed_garbage.csv"), figs.Garbage); err != nil {
 			fatal(err)
 		}
@@ -80,34 +114,31 @@ func main() {
 			filepath.Join(*outdir, "figure5_database_size.csv"), figs.DBSize.Len())
 		fmt.Println(endpointTable(figs))
 	}
-
-	if all || *fig6 {
-		res, err := experiments.RunFigure6(*seeds, progress)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(res.Table())
-		if err := writeCSV(filepath.Join(*outdir, "figure6_storage_required.csv"), res.Series()); err != nil {
+	if res.Figure6 != nil {
+		fmt.Println(res.Figure6.Table())
+		if err := writeCSV(filepath.Join(*outdir, "figure6_storage_required.csv"), res.Figure6.Series()); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("Figure 6 series -> %s\n", filepath.Join(*outdir, "figure6_storage_required.csv"))
 	}
-
-	if *sens { // extension sweeps run only on request
-		res, err := experiments.RunSensitivity(*seeds, progress)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Println(res.TriggerTable())
-		fmt.Println(res.PartitionTable())
+	if res.Sensitivity != nil {
+		fmt.Println(res.Sensitivity.TriggerTable())
+		fmt.Println(res.Sensitivity.PartitionTable())
+	}
+	if res.Ablations != nil {
+		fmt.Println(res.Ablations)
 	}
 
-	if *abl { // extension ablations run only on request
-		table, err := experiments.RunAblations(*seeds, progress)
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println(table)
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
 	}
 }
 

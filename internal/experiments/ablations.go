@@ -6,6 +6,7 @@ import (
 	"odbgc/internal/core"
 	"odbgc/internal/sim"
 	"odbgc/internal/stats"
+	"odbgc/internal/workload"
 )
 
 // RunAblations executes the extension ablations at full base-workload
@@ -14,59 +15,87 @@ import (
 // the allocation trigger. Each row reports reclamation and total I/O so
 // the trade-off is visible.
 func RunAblations(seeds int, progress Progress) (*stats.Table, error) {
+	progress = progress.Sync()
+	s := newScheduler(0, workload.NewTraceCache(workload.DefaultTraceCacheBytes), progress)
+	defer s.Close()
+	j := submitAblations(s, BaseWorkload(), BaseSim, seeds)
+	if err := s.Wait(); err != nil {
+		return nil, fmt.Errorf("experiments: ablations: %w", err)
+	}
+	return j.finish(), nil
+}
+
+// ablationsJob holds the in-flight variants' result slots in table-row
+// order; finish renders the table.
+type ablationsJob struct {
+	names   []string
+	results [][]sim.Result
+}
+
+// ablationVariants builds the (name, config) rows from a base sim
+// factory.
+func ablationVariants(mkSim func(string) sim.Config) (names []string, cfgs []sim.Config) {
+	add := func(name string, cfg sim.Config) {
+		names = append(names, name)
+		cfgs = append(cfgs, cfg)
+	}
+	// The paper's enhanced policy vs the unenhanced YNY original.
+	add("MutatedPartition (pointer stores only)", mkSim(core.NameMutatedPartition))
+	add("MutatedObjectYNY (all mutations)", mkSim(core.NameMutatedObjectYNY))
+
+	// UpdatedPointer baseline and its extension variants.
+	add("UpdatedPointer", mkSim(core.NameUpdatedPointer))
+	sweep := mkSim(core.NameUpdatedPointer)
+	sweep.GlobalSweepEvery = 10
+	add("UpdatedPointer + global sweep every 10", sweep)
+	multi := mkSim(core.NameUpdatedPointer)
+	multi.CollectPartitions = 2
+	add("UpdatedPointer, top-2 partitions", multi)
+	alloc := mkSim(core.NameUpdatedPointer)
+	alloc.TriggerOverwrites = 0
+	// Match the overwrite trigger's collection cadence: the base workload
+	// allocates ~11.5 MB over ~30 collections.
+	alloc.TriggerAllocationBytes = 380_000
+	add("UpdatedPointer, allocation trigger", alloc)
+	cs := mkSim(core.NameUpdatedPointer)
+	cs.ClientCachePages = 16
+	add("UpdatedPointer, client/server (16-page cache)", cs)
+	return names, cfgs
+}
+
+// submitAblations flattens every ablation variant into scheduler jobs.
+// All variants replay the same base-workload seeds, sharing their traces
+// with each other (and the base/sensitivity experiments) through the
+// cache.
+func submitAblations(s *sim.Scheduler, wl workload.Config, mkSim func(string) sim.Config, seeds int) *ablationsJob {
+	names, cfgs := ablationVariants(mkSim)
+	j := &ablationsJob{names: names, results: make([][]sim.Result, len(names))}
+	for vi, cfg := range cfgs {
+		j.results[vi] = make([]sim.Result, seeds)
+		for i := 0; i < seeds; i++ {
+			w, sc := wl, cfg
+			w.Seed += int64(i)
+			sc.Seed += 1000 + int64(i)
+			s.Submit(sim.Job{
+				Label: fmt.Sprintf("ablation/%s/seed %d", names[vi], i),
+				Sim:   sc, WL: w, Out: &j.results[vi][i],
+			})
+		}
+	}
+	return j
+}
+
+// finish renders the ablation table in the fixed variant order.
+func (j *ablationsJob) finish() *stats.Table {
 	t := stats.NewTable("Ablations (base workload, means over seeds)",
 		"Variant", "Total I/Os", "Reclaimed KB", "Fraction %", "Collections")
-	wl := BaseWorkload()
-
-	add := func(name string, cfg sim.Config) error {
-		progress.logf("ablation: %s", name)
-		results, err := sim.RunSeeds(cfg, wl, seeds)
-		if err != nil {
-			return fmt.Errorf("experiments: ablation %s: %w", name, err)
-		}
-		agg := sim.Aggregates(results)
+	for vi, name := range j.names {
+		agg := sim.Aggregates(j.results[vi])
 		t.AddRow(name,
 			fmt.Sprintf("%.0f", agg.TotalIOs.Mean),
 			fmt.Sprintf("%.0f", agg.ReclaimedKB.Mean),
 			fmt.Sprintf("%.1f", agg.FractionReclaimed.Mean),
 			fmt.Sprintf("%.1f", agg.Collections.Mean))
-		return nil
 	}
-
-	// The paper's enhanced policy vs the unenhanced YNY original.
-	if err := add("MutatedPartition (pointer stores only)", BaseSim(core.NameMutatedPartition)); err != nil {
-		return nil, err
-	}
-	if err := add("MutatedObjectYNY (all mutations)", BaseSim(core.NameMutatedObjectYNY)); err != nil {
-		return nil, err
-	}
-
-	// UpdatedPointer baseline and its extension variants.
-	if err := add("UpdatedPointer", BaseSim(core.NameUpdatedPointer)); err != nil {
-		return nil, err
-	}
-	sweep := BaseSim(core.NameUpdatedPointer)
-	sweep.GlobalSweepEvery = 10
-	if err := add("UpdatedPointer + global sweep every 10", sweep); err != nil {
-		return nil, err
-	}
-	multi := BaseSim(core.NameUpdatedPointer)
-	multi.CollectPartitions = 2
-	if err := add("UpdatedPointer, top-2 partitions", multi); err != nil {
-		return nil, err
-	}
-	alloc := BaseSim(core.NameUpdatedPointer)
-	alloc.TriggerOverwrites = 0
-	// Match the overwrite trigger's collection cadence: the base workload
-	// allocates ~11.5 MB over ~30 collections.
-	alloc.TriggerAllocationBytes = 380_000
-	if err := add("UpdatedPointer, allocation trigger", alloc); err != nil {
-		return nil, err
-	}
-	cs := BaseSim(core.NameUpdatedPointer)
-	cs.ClientCachePages = 16
-	if err := add("UpdatedPointer, client/server (16-page cache)", cs); err != nil {
-		return nil, err
-	}
-	return t, nil
+	return t
 }

@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"odbgc/internal/core"
 	"odbgc/internal/sim"
@@ -15,12 +16,43 @@ import (
 )
 
 // Progress receives human-readable progress lines; nil disables them.
+// Callbacks handed to parallel runners must be wrapped with Sync first —
+// every runner in this package does so on entry.
 type Progress func(format string, args ...any)
 
 func (p Progress) logf(format string, args ...any) {
 	if p != nil {
 		p(format, args...)
 	}
+}
+
+// Sync returns a goroutine-safe Progress: concurrent calls are serialized
+// through a mutex so lines emitted by parallel jobs cannot interleave
+// mid-write. A nil Progress stays nil; Sync of an already-synced Progress
+// is harmless.
+func (p Progress) Sync() Progress {
+	if p == nil {
+		return nil
+	}
+	var mu sync.Mutex
+	return func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		p(format, args...)
+	}
+}
+
+// newScheduler builds a scheduler whose per-job completion lines are
+// tagged with the job's label, e.g. "[37/60] tables/Random/seed 3".
+// progress must already be synced.
+func newScheduler(workers int, cache *workload.TraceCache, progress Progress) *sim.Scheduler {
+	s := sim.NewScheduler(workers, cache)
+	if progress != nil {
+		s.SetNotify(func(done, total int64, label string) {
+			progress("[%d/%d] %s", done, total, label)
+		})
+	}
+	return s
 }
 
 // BaseWorkload returns the workload of Tables 2–4: ≈5 MB live, ≈11.5 MB
@@ -46,19 +78,41 @@ func RunBase(seeds int, progress Progress) (*BaseRun, error) {
 	return runPolicies(BaseWorkload(), BaseSim, seeds, progress)
 }
 
-func runPolicies(wl workload.Config, mkSim func(string) sim.Config, seeds int, progress Progress) (*BaseRun, error) {
+// submitPolicies flattens policies × seeds into scheduler jobs, seed-major
+// so each workload seed's cached trace is consumed by all six policies
+// before the next seed's trace is needed (LRU-friendly). Results land in
+// preallocated per-policy slices; read them only after the scheduler's
+// Wait succeeds.
+func submitPolicies(s *sim.Scheduler, tag string, wl workload.Config, mkSim func(string) sim.Config, seeds int) *BaseRun {
 	run := &BaseRun{
 		Seeds:    seeds,
 		Policies: core.PaperNames(),
 		Results:  make(map[string][]sim.Result, len(core.PaperNames())),
 	}
 	for _, policy := range run.Policies {
-		progress.logf("running %s × %d seeds", policy, seeds)
-		results, err := sim.RunSeeds(mkSim(policy), wl, seeds)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", policy, err)
+		run.Results[policy] = make([]sim.Result, seeds)
+	}
+	for i := 0; i < seeds; i++ {
+		for _, policy := range run.Policies {
+			wlCfg, simCfg := wl, mkSim(policy)
+			wlCfg.Seed += int64(i)
+			simCfg.Seed += 1000 + int64(i)
+			s.Submit(sim.Job{
+				Label: fmt.Sprintf("%s/%s/seed %d", tag, policy, i),
+				Sim:   simCfg, WL: wlCfg, Out: &run.Results[policy][i],
+			})
 		}
-		run.Results[policy] = results
+	}
+	return run
+}
+
+func runPolicies(wl workload.Config, mkSim func(string) sim.Config, seeds int, progress Progress) (*BaseRun, error) {
+	progress = progress.Sync()
+	s := newScheduler(0, workload.NewTraceCache(workload.DefaultTraceCacheBytes), progress)
+	defer s.Close()
+	run := submitPolicies(s, "base", wl, mkSim, seeds)
+	if err := s.Wait(); err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
 	return run, nil
 }

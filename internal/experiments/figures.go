@@ -43,45 +43,72 @@ func RunFigures4And5(progress Progress) (*Figures45, error) {
 	return runFigures45(FigureWorkload(), FigureSim, progress)
 }
 
-// runFigures45 is the scale-parameterized core of RunFigures4And5.
-func runFigures45(wl workload.Config, mkSim func(string) sim.Config, progress Progress) (*Figures45, error) {
-	policies := core.PaperNames()
-	out := &Figures45{Policies: policies}
+// figures45Job holds the per-policy result slots of an in-flight figure
+// run; finish assembles the series once the scheduler has drained.
+type figures45Job struct {
+	policies []string
+	results  []sim.Result
+}
 
-	perPolicy := make(map[string]*stats.Series, len(policies))
+// submitFigures45 flattens the figure run (one job per policy, all
+// replaying one shared trace) into scheduler jobs.
+func submitFigures45(s *sim.Scheduler, wl workload.Config, mkSim func(string) sim.Config) *figures45Job {
+	j := &figures45Job{
+		policies: core.PaperNames(),
+		results:  make([]sim.Result, len(core.PaperNames())),
+	}
+	for i, policy := range j.policies {
+		s.Submit(sim.Job{
+			Label: "fig45/" + policy,
+			Sim:   mkSim(policy), WL: wl, Out: &j.results[i],
+		})
+	}
+	return j
+}
+
+// finish assembles the two figure series from the completed results.
+func (j *figures45Job) finish() (*Figures45, error) {
+	out := &Figures45{Policies: j.policies}
 	var n int
-	for _, policy := range policies {
-		progress.logf("figure run: %s", policy)
-		res, _, err := sim.RunWorkload(mkSim(policy), wl)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: figures: %s: %w", policy, err)
-		}
-		if res.Series == nil || res.Series.Len() == 0 {
+	for i, policy := range j.policies {
+		series := j.results[i].Series
+		if series == nil || series.Len() == 0 {
 			return nil, fmt.Errorf("experiments: figures: %s produced no samples", policy)
 		}
-		perPolicy[policy] = res.Series
-		if n == 0 || res.Series.Len() < n {
-			n = res.Series.Len()
+		if n == 0 || series.Len() < n {
+			n = series.Len()
 		}
 	}
 
 	// Every policy replays the identical trace, so the sample grids agree;
 	// truncate to the shortest in case of off-by-one at the trace tail.
-	out.Garbage = stats.NewSeries("events", policies...)
-	out.DBSize = stats.NewSeries("events", policies...)
-	base := perPolicy[policies[0]]
+	out.Garbage = stats.NewSeries("events", j.policies...)
+	out.DBSize = stats.NewSeries("events", j.policies...)
+	base := j.results[0].Series
 	for i := 0; i < n; i++ {
-		garbage := make([]float64, len(policies))
-		size := make([]float64, len(policies))
-		for j, policy := range policies {
-			s := perPolicy[policy]
-			garbage[j] = s.Y[2][i] // unreclaimed_garbage_kb
-			size[j] = s.Y[0][i]    // occupied_kb
+		garbage := make([]float64, len(j.policies))
+		size := make([]float64, len(j.policies))
+		for p := range j.policies {
+			s := j.results[p].Series
+			garbage[p] = s.Y[2][i] // unreclaimed_garbage_kb
+			size[p] = s.Y[0][i]    // occupied_kb
 		}
 		out.Garbage.Add(base.X[i], garbage...)
 		out.DBSize.Add(base.X[i], size...)
 	}
 	return out, nil
+}
+
+// runFigures45 is the scale-parameterized core of RunFigures4And5.
+func runFigures45(wl workload.Config, mkSim func(string) sim.Config, progress Progress) (*Figures45, error) {
+	progress = progress.Sync()
+	s := newScheduler(0, workload.NewTraceCache(workload.DefaultTraceCacheBytes), progress)
+	defer s.Close()
+	j := submitFigures45(s, wl, mkSim)
+	if err := s.Wait(); err != nil {
+		return nil, fmt.Errorf("experiments: figures: %w", err)
+	}
+	return j.finish()
 }
 
 // Figure6Point is one database size in the scalability sweep.
@@ -146,26 +173,69 @@ func RunFigure6(seeds int, progress Progress) (*Figure6Result, error) {
 	return runFigure6(Figure6Points, Figure6Workload, Figure6Sim, seeds, progress)
 }
 
-// runFigure6 is the scale-parameterized core of RunFigure6.
-func runFigure6(points []Figure6Point, mkWL func(Figure6Point) workload.Config,
-	mkSim func(string, Figure6Point) sim.Config, seeds int, progress Progress) (*Figure6Result, error) {
+// figure6Job holds the in-flight sweep's result slots, indexed
+// [point][policy][seed]; finish aggregates them.
+type figure6Job struct {
+	points   []Figure6Point
+	policies []string
+	results  [][][]sim.Result
+}
+
+// submitFigure6 flattens the scalability sweep into scheduler jobs,
+// seed-major within each point so the sweep's large traces are consumed
+// by all policies while still resident in the cache.
+func submitFigure6(s *sim.Scheduler, points []Figure6Point, mkWL func(Figure6Point) workload.Config,
+	mkSim func(string, Figure6Point) sim.Config, seeds int) *figure6Job {
+	j := &figure6Job{points: points, policies: core.PaperNames()}
+	j.results = make([][][]sim.Result, len(points))
+	for pi, p := range points {
+		j.results[pi] = make([][]sim.Result, len(j.policies))
+		for qi := range j.policies {
+			j.results[pi][qi] = make([]sim.Result, seeds)
+		}
+		wlBase := mkWL(p)
+		for i := 0; i < seeds; i++ {
+			for qi, policy := range j.policies {
+				wl, sc := wlBase, mkSim(policy, p)
+				wl.Seed += int64(i)
+				sc.Seed += 1000 + int64(i)
+				s.Submit(sim.Job{
+					Label: fmt.Sprintf("fig6/%dMB/%s/seed %d", p.MaxAllocMB, policy, i),
+					Sim:   sc, WL: wl, Out: &j.results[pi][qi][i],
+				})
+			}
+		}
+	}
+	return j
+}
+
+// finish aggregates the completed sweep into per-policy storage curves.
+func (j *figure6Job) finish() *Figure6Result {
 	res := &Figure6Result{
-		Points:    points,
-		Policies:  core.PaperNames(),
+		Points:    j.points,
+		Policies:  j.policies,
 		StorageMB: make(map[string][]float64),
 	}
-	for _, p := range res.Points {
-		progress.logf("figure 6: %d MB (%d-page partitions)", p.MaxAllocMB, p.PartitionPages)
-		for _, policy := range res.Policies {
-			results, err := sim.RunSeeds(mkSim(policy, p), mkWL(p), seeds)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: figure 6 %dMB %s: %w", p.MaxAllocMB, policy, err)
-			}
-			agg := sim.Aggregates(results)
+	for pi := range j.points {
+		for qi, policy := range j.policies {
+			agg := sim.Aggregates(j.results[pi][qi])
 			res.StorageMB[policy] = append(res.StorageMB[policy], agg.MaxOccupiedKB.Mean/1024)
 		}
 	}
-	return res, nil
+	return res
+}
+
+// runFigure6 is the scale-parameterized core of RunFigure6.
+func runFigure6(points []Figure6Point, mkWL func(Figure6Point) workload.Config,
+	mkSim func(string, Figure6Point) sim.Config, seeds int, progress Progress) (*Figure6Result, error) {
+	progress = progress.Sync()
+	s := newScheduler(0, workload.NewTraceCache(workload.DefaultTraceCacheBytes), progress)
+	defer s.Close()
+	j := submitFigure6(s, points, mkWL, mkSim, seeds)
+	if err := s.Wait(); err != nil {
+		return nil, fmt.Errorf("experiments: figure 6: %w", err)
+	}
+	return j.finish(), nil
 }
 
 // Table renders the sweep as a table (policies × sizes, cells in MB).

@@ -6,6 +6,7 @@ import (
 	"odbgc/internal/core"
 	"odbgc/internal/sim"
 	"odbgc/internal/stats"
+	"odbgc/internal/workload"
 )
 
 // Sensitivity studies for the two knobs the paper holds constant but
@@ -44,44 +45,96 @@ type SensitivityResult struct {
 
 // RunSensitivity executes both sweeps at the base workload.
 func RunSensitivity(seeds int, progress Progress) (*SensitivityResult, error) {
+	progress = progress.Sync()
+	s := newScheduler(0, workload.NewTraceCache(workload.DefaultTraceCacheBytes), progress)
+	defer s.Close()
+	j := submitSensitivity(s, BaseWorkload(), BaseSim, TriggerIntervals, PartitionSizes, seeds)
+	if err := s.Wait(); err != nil {
+		return nil, fmt.Errorf("experiments: sensitivity: %w", err)
+	}
+	return j.finish(), nil
+}
+
+// sensitivityJob holds both sweeps' result slots, indexed
+// [sweepValue][policy][seed]; finish aggregates them.
+type sensitivityJob struct {
+	triggers   []int64
+	partitions []int
+	policies   []string
+	trigger    [][][]sim.Result
+	partition  [][][]sim.Result
+}
+
+// submitSensitivity flattens both sweeps into scheduler jobs. Every cell
+// replays the same base-workload seeds, so with a shared cache the whole
+// sensitivity study generates no traces beyond the base experiment's.
+func submitSensitivity(s *sim.Scheduler, wl workload.Config, mkSim func(string) sim.Config,
+	triggers []int64, partitions []int, seeds int) *sensitivityJob {
+	j := &sensitivityJob{triggers: triggers, partitions: partitions, policies: SensitivityPolicies}
+	slots := func(n int) [][][]sim.Result {
+		out := make([][][]sim.Result, n)
+		for i := range out {
+			out[i] = make([][]sim.Result, len(j.policies))
+			for q := range out[i] {
+				out[i][q] = make([]sim.Result, seeds)
+			}
+		}
+		return out
+	}
+	j.trigger = slots(len(triggers))
+	j.partition = slots(len(partitions))
+
+	submit := func(label string, cfg sim.Config, out []sim.Result) {
+		for i := 0; i < seeds; i++ {
+			w, sc := wl, cfg
+			w.Seed += int64(i)
+			sc.Seed += 1000 + int64(i)
+			s.Submit(sim.Job{
+				Label: fmt.Sprintf("%s/seed %d", label, i),
+				Sim:   sc, WL: w, Out: &out[i],
+			})
+		}
+	}
+	for ti, trigger := range triggers {
+		for qi, policy := range j.policies {
+			cfg := mkSim(policy)
+			cfg.TriggerOverwrites = trigger
+			submit(fmt.Sprintf("sens/trigger=%d/%s", trigger, policy), cfg, j.trigger[ti][qi])
+		}
+	}
+	for pi, pages := range partitions {
+		for qi, policy := range j.policies {
+			cfg := mkSim(policy)
+			cfg.Heap.PartitionPages = pages
+			submit(fmt.Sprintf("sens/partition=%d/%s", pages, policy), cfg, j.partition[pi][qi])
+		}
+	}
+	return j
+}
+
+// finish aggregates the completed sweeps.
+func (j *sensitivityJob) finish() *SensitivityResult {
 	res := &SensitivityResult{
 		TriggerFraction:   make(map[string][]float64),
 		TriggerIOs:        make(map[string][]float64),
 		PartitionFraction: make(map[string][]float64),
 		PartitionIOs:      make(map[string][]float64),
 	}
-	wl := BaseWorkload()
-
-	for _, trigger := range TriggerIntervals {
-		progress.logf("sensitivity: trigger = %d overwrites", trigger)
-		for _, policy := range SensitivityPolicies {
-			cfg := BaseSim(policy)
-			cfg.TriggerOverwrites = trigger
-			results, err := sim.RunSeeds(cfg, wl, seeds)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: sensitivity trigger %d %s: %w", trigger, policy, err)
-			}
-			agg := sim.Aggregates(results)
+	for ti := range j.triggers {
+		for qi, policy := range j.policies {
+			agg := sim.Aggregates(j.trigger[ti][qi])
 			res.TriggerFraction[policy] = append(res.TriggerFraction[policy], agg.FractionReclaimed.Mean)
 			res.TriggerIOs[policy] = append(res.TriggerIOs[policy], agg.TotalIOs.Mean)
 		}
 	}
-
-	for _, pages := range PartitionSizes {
-		progress.logf("sensitivity: partition = %d pages", pages)
-		for _, policy := range SensitivityPolicies {
-			cfg := BaseSim(policy)
-			cfg.Heap.PartitionPages = pages
-			results, err := sim.RunSeeds(cfg, wl, seeds)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: sensitivity partition %d %s: %w", pages, policy, err)
-			}
-			agg := sim.Aggregates(results)
+	for pi := range j.partitions {
+		for qi, policy := range j.policies {
+			agg := sim.Aggregates(j.partition[pi][qi])
 			res.PartitionFraction[policy] = append(res.PartitionFraction[policy], agg.FractionReclaimed.Mean)
 			res.PartitionIOs[policy] = append(res.PartitionIOs[policy], agg.TotalIOs.Mean)
 		}
 	}
-	return res, nil
+	return res
 }
 
 // TriggerTable renders the trigger sweep.

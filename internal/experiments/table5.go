@@ -16,18 +16,26 @@ var Table5Connectivities = []float64{1.167, 1.083, 1.040, 1.005}
 // RunTable5 reproduces the connectivity sweep: percent of garbage
 // reclaimed for each policy at each connectivity, averaged over seeds.
 func RunTable5(seeds int, progress Progress) (*Table5Result, error) {
-	res := &Table5Result{Connectivities: Table5Connectivities}
-	for _, c := range Table5Connectivities {
-		wl := BaseWorkload()
-		wl.DenseEdgeFraction = c - 1
-		progress.logf("connectivity C = %.3f", c)
-		run, err := runPolicies(wl, BaseSim, seeds, progress)
-		if err != nil {
-			return nil, err
-		}
-		res.Runs = append(res.Runs, run)
+	progress = progress.Sync()
+	s := newScheduler(0, workload.NewTraceCache(workload.DefaultTraceCacheBytes), progress)
+	defer s.Close()
+	res := submitTable5(s, BaseWorkload(), BaseSim, Table5Connectivities, seeds)
+	if err := s.Wait(); err != nil {
+		return nil, fmt.Errorf("experiments: table 5: %w", err)
 	}
 	return res, nil
+}
+
+// submitTable5 flattens the connectivity sweep into scheduler jobs; read
+// the result only after the scheduler's Wait succeeds.
+func submitTable5(s *sim.Scheduler, baseWL workload.Config, mkSim func(string) sim.Config, conns []float64, seeds int) *Table5Result {
+	res := &Table5Result{Connectivities: conns}
+	for _, c := range conns {
+		wl := baseWL
+		wl.DenseEdgeFraction = c - 1
+		res.Runs = append(res.Runs, submitPolicies(s, fmt.Sprintf("table5/C=%.3f", c), wl, mkSim, seeds))
+	}
+	return res
 }
 
 // Table5Result holds one BaseRun per connectivity.

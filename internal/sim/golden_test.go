@@ -89,3 +89,29 @@ func TestGoldenDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestGoldenCachedReplay pins the suite orchestration's central
+// assumption: replaying one recorded workload trace (the shared-cache
+// path) produces byte-identical Results to generating the workload live,
+// for every paper policy. Combined with TestGoldenDeterminism this proves
+// the trace cache changes no observable simulation behavior.
+func TestGoldenCachedReplay(t *testing.T) {
+	rt, err := workload.Record(goldenWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range core.PaperNames() {
+		direct, _, err := sim.RunWorkload(goldenSim(policy), goldenWorkload())
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		replayed, err := sim.RunRecorded(goldenSim(policy), rt)
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if !reflect.DeepEqual(direct, replayed) {
+			t.Errorf("%s: cached-trace replay diverged from direct generation\n got: %+v\nwant: %+v",
+				policy, replayed, direct)
+		}
+	}
+}

@@ -3,7 +3,6 @@ package sim
 import (
 	"fmt"
 	"runtime"
-	"sync"
 
 	"odbgc/internal/stats"
 	"odbgc/internal/workload"
@@ -44,52 +43,49 @@ func RunSource(simCfg Config, src workload.Source) (Result, workload.Stats, erro
 	return s.Finish(), st, nil
 }
 
+// RunRecorded replays a recorded workload trace into a fresh simulator.
+// The result is bit-identical to RunWorkload with the trace's generating
+// configuration: the recorded stream is the same event sequence a live
+// generator emits, and warm starts reset measurement at the identical
+// build/churn boundary.
+func RunRecorded(simCfg Config, rt *workload.RecordedTrace) (Result, error) {
+	s, err := New(simCfg)
+	if err != nil {
+		return Result{}, err
+	}
+	var hook func()
+	if simCfg.WarmStart {
+		hook = s.ResetMeasurement
+	}
+	if err := rt.Replay(s, hook); err != nil {
+		return Result{}, fmt.Errorf("sim: trace replay failed: %w", err)
+	}
+	return s.Finish(), nil
+}
+
 // RunSeeds repeats RunWorkload n times with derived seeds (workload seed
 // base+i, simulator seed base+1000+i), the way the paper averages each
-// configuration over 10 differently seeded runs. Runs execute in parallel
-// (each simulation is fully independent and deterministic given its
-// seeds); results are returned in seed order. Custom policies injected
-// via Config.PolicyImpl keep per-run state, so those runs are serialized.
+// configuration over 10 differently seeded runs. Runs are drained by a
+// Scheduler worker pool (each simulation is fully independent and
+// deterministic given its seeds); results are returned in seed order. A
+// custom policy shared via Config.PolicyImpl serializes the runs in seed
+// order unless it implements core.ClonablePolicy or is supplied through
+// Config.PolicyFactory, either of which parallelizes like the built-ins.
 func RunSeeds(simCfg Config, wlCfg workload.Config, n int) ([]Result, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("sim: RunSeeds needs a positive run count, got %d", n)
 	}
-	baseWL, baseSim := wlCfg.Seed, simCfg.Seed
-
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
-	if simCfg.PolicyImpl != nil {
-		workers = 1 // a shared policy instance cannot run concurrently
-	}
-
+	// No trace cache: each derived seed's trace is replayed exactly once.
+	s := NewScheduler(workers, nil)
+	defer s.Close()
 	results := make([]Result, n)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			wl, sc := wlCfg, simCfg
-			wl.Seed = baseWL + int64(i)
-			sc.Seed = baseSim + 1000 + int64(i)
-			res, _, err := RunWorkload(sc, wl)
-			if err != nil {
-				errs[i] = fmt.Errorf("sim: seed %d: %w", i, err)
-				return
-			}
-			results[i] = res
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	s.SubmitSeeds(simCfg.Policy, simCfg, wlCfg, n, results)
+	if err := s.Wait(); err != nil {
+		return nil, err
 	}
 	return results, nil
 }

@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"odbgc/internal/core"
+	"odbgc/internal/heap"
+	"odbgc/internal/workload"
+)
+
+// TestSchedulerMixedSuiteMatchesSerial flattens a small mixed suite —
+// several policies, seeds, and two workload shapes — through a parallel
+// scheduler with a shared trace cache and checks every result is
+// bit-identical to a direct serial RunWorkload. Run under -race (ci.sh),
+// this is also the scheduler/trace-cache data-race smoke test.
+func TestSchedulerMixedSuiteMatchesSerial(t *testing.T) {
+	type cell struct {
+		sim Config
+		wl  workload.Config
+	}
+	var cells []cell
+	wlA := smallWorkload()
+	wlB := smallWorkload()
+	wlB.DenseEdgeFraction = 0.167
+	for _, wl := range []workload.Config{wlA, wlB} {
+		for _, policy := range []string{core.NameUpdatedPointer, core.NameRandom, core.NameMostGarbage} {
+			for seed := int64(0); seed < 3; seed++ {
+				sc := smallSim(policy)
+				sc.Seed += seed
+				w := wl
+				w.Seed += seed
+				cells = append(cells, cell{sc, w})
+			}
+		}
+	}
+
+	want := make([]Result, len(cells))
+	for i, c := range cells {
+		res, _, err := RunWorkload(c.sim, c.wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+
+	cache := workload.NewTraceCache(0)
+	s := NewScheduler(4, cache)
+	defer s.Close()
+	var mu sync.Mutex
+	var lines []string
+	s.SetNotify(func(done, total int64, label string) {
+		mu.Lock()
+		defer mu.Unlock()
+		lines = append(lines, fmt.Sprintf("[%d/%d] %s", done, total, label))
+	})
+	got := make([]Result, len(cells))
+	for i, c := range cells {
+		s.Submit(Job{Label: fmt.Sprintf("cell %d", i), Sim: c.sim, WL: c.wl, Out: &got[i]})
+	}
+	if err := s.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range cells {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("cell %d diverged from serial run:\n got %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+	if len(lines) != len(cells) {
+		t.Errorf("notify saw %d completions, want %d", len(lines), len(cells))
+	}
+	st := cache.Stats()
+	// 2 workloads × 3 seeds distinct traces, each shared by 3 policies.
+	if st.Misses != 6 || st.Hits != int64(len(cells))-6 {
+		t.Errorf("cache stats = %+v, want 6 misses / %d hits", st, len(cells)-6)
+	}
+	if s.Submitted() != int64(len(cells)) || s.Completed() != int64(len(cells)) {
+		t.Errorf("counters: %d submitted, %d completed", s.Submitted(), s.Completed())
+	}
+}
+
+func TestSchedulerErrorReportsEarliestJob(t *testing.T) {
+	s := NewScheduler(2, nil)
+	defer s.Close()
+	bad := smallSim(core.NameUpdatedPointer)
+	bad.TriggerOverwrites = 0 // fails validation
+	out := make([]Result, 3)
+	s.Submit(Job{Label: "ok", Sim: smallSim(core.NameRandom), WL: smallWorkload(), Out: &out[0]})
+	s.Submit(Job{Label: "bad one", Sim: bad, WL: smallWorkload(), Out: &out[1]})
+	s.Submit(Job{Label: "bad two", Sim: bad, WL: smallWorkload(), Out: &out[2]})
+	err := s.Wait()
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if want := "bad one"; !containsStr(err.Error(), want) {
+		t.Fatalf("error %q does not name the earliest failed job %q", err, want)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// orderPolicy is a custom policy that records the order it is asked to
+// select, to observe serialization; it deliberately does NOT implement
+// core.ClonablePolicy.
+type orderPolicy struct {
+	mu      sync.Mutex
+	selects int
+}
+
+func (p *orderPolicy) Name() string                    { return "order" }
+func (p *orderPolicy) PointerStore(core.StoreContext)  {}
+func (p *orderPolicy) DataStore(heap.PartitionID)      {}
+func (p *orderPolicy) Collected(_, _ heap.PartitionID) {}
+func (p *orderPolicy) Select(env *core.Env) (heap.PartitionID, bool) {
+	p.mu.Lock()
+	p.selects++
+	p.mu.Unlock()
+	cands := env.Candidates()
+	if len(cands) == 0 {
+		return heap.NoPartition, false
+	}
+	return cands[0], true
+}
+
+// clonableOrderPolicy adds Clone, making it eligible for parallel runs.
+type clonableOrderPolicy struct{ orderPolicy }
+
+func (p *clonableOrderPolicy) Clone() core.Policy { return &clonableOrderPolicy{} }
+
+func TestSchedulerSerialFallbackForSharedPolicyImpl(t *testing.T) {
+	shared := &orderPolicy{}
+	cfg := smallSim("custom")
+	cfg.PolicyImpl = shared
+
+	// Two scheduler passes over the same jobs must agree exactly: the
+	// shared instance is run inline at Submit, in submission order.
+	runOnce := func() []Result {
+		s := NewScheduler(4, nil)
+		defer s.Close()
+		out := make([]Result, 4)
+		s.SubmitSeeds("custom", cfg, smallWorkload(), 4, out)
+		if err := s.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	first := runOnce()
+	shared.mu.Lock()
+	selectsAfterFirst := shared.selects
+	shared.mu.Unlock()
+	if selectsAfterFirst == 0 {
+		t.Fatal("shared policy never selected")
+	}
+	second := runOnce()
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("serial-fallback runs are not deterministic")
+	}
+}
+
+func TestSchedulerClonablePolicyMatchesFactory(t *testing.T) {
+	viaClone := smallSim("custom")
+	viaClone.PolicyImpl = &clonableOrderPolicy{}
+	viaFactory := smallSim("custom")
+	viaFactory.PolicyFactory = func() core.Policy { return &clonableOrderPolicy{} }
+
+	cloneRes, err := RunSeeds(viaClone, smallWorkload(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factoryRes, err := RunSeeds(viaFactory, smallWorkload(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cloneRes, factoryRes) {
+		t.Fatal("clonable PolicyImpl and PolicyFactory runs diverge")
+	}
+	// The prototype instance must stay untouched: every run used a clone.
+	proto := viaClone.PolicyImpl.(*clonableOrderPolicy)
+	proto.mu.Lock()
+	defer proto.mu.Unlock()
+	if proto.selects != 0 {
+		t.Fatalf("prototype instance was run directly (%d selects)", proto.selects)
+	}
+}
+
+func TestRunRecordedWarmStartMatchesLive(t *testing.T) {
+	wl := smallWorkload()
+	rt, err := workload.Record(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, warm := range []bool{false, true} {
+		cfg := smallSim(core.NameUpdatedPointer)
+		cfg.WarmStart = warm
+		live, _, err := RunWorkload(cfg, wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replayed, err := RunRecorded(cfg, rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(live, replayed) {
+			t.Errorf("warm=%v: recorded replay diverged:\n got %+v\nwant %+v", warm, replayed, live)
+		}
+	}
+}

@@ -26,7 +26,14 @@ type Config struct {
 	// PolicyImpl, when non-nil, is used instead of looking Policy up in
 	// the registry — the hook for evaluating custom selection policies
 	// against the paper's. Policy may then be any descriptive name.
+	// Multi-seed harnesses serialize runs sharing a PolicyImpl unless it
+	// implements core.ClonablePolicy.
 	PolicyImpl core.Policy
+	// PolicyFactory, when non-nil (and PolicyImpl is nil), constructs the
+	// run's policy instance. Unlike a shared PolicyImpl, a factory gives
+	// every run an independent instance, so custom policies parallelize
+	// across seeds. It must be safe to call from concurrent goroutines.
+	PolicyFactory func() core.Policy
 	// Seed drives the simulator's own randomness (only the Random policy
 	// uses it). It is independent of the workload seed.
 	Seed int64
@@ -187,6 +194,11 @@ func New(cfg Config) (*Sim, error) {
 		}
 	}
 	pol := cfg.PolicyImpl
+	if pol == nil && cfg.PolicyFactory != nil {
+		if pol = cfg.PolicyFactory(); pol == nil {
+			return nil, fmt.Errorf("sim: PolicyFactory returned nil")
+		}
+	}
 	if pol == nil {
 		pol, err = core.New(cfg.Policy, rand.New(rand.NewSource(cfg.Seed)))
 		if err != nil {

@@ -1,0 +1,75 @@
+package trace
+
+import "fmt"
+
+// Buffer is an in-memory recorded trace. Events are stored in the same
+// packed opcode+varint encoding the file codec uses (typically 2–10 bytes
+// per event instead of sizeof(Event)), so a whole workload seed's event
+// stream can be generated once, held in memory, and replayed into any
+// number of simulators. The zero value is an empty buffer ready for use.
+//
+// A Buffer is not safe for concurrent mutation, but once fully recorded
+// it may be replayed from any number of goroutines concurrently: Replay
+// only reads.
+type Buffer struct {
+	data   []byte
+	events int64
+}
+
+// Emit appends one event, implementing Sink.
+func (b *Buffer) Emit(e Event) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	b.data = appendEvent(b.data, e)
+	b.events++
+	return nil
+}
+
+// Len reports the number of recorded events.
+func (b *Buffer) Len() int64 { return b.events }
+
+// SizeBytes reports the memory held by the packed encoding; trace caches
+// charge this against their budget.
+func (b *Buffer) SizeBytes() int64 { return int64(cap(b.data)) }
+
+// Compact trims the encoding's spare append capacity. Call once after
+// recording completes, before long-term caching.
+func (b *Buffer) Compact() {
+	if cap(b.data) > len(b.data) {
+		b.data = append(make([]byte, 0, len(b.data)), b.data...)
+	}
+}
+
+// Replay streams every recorded event into sink in recording order.
+func (b *Buffer) Replay(sink Sink) error { return b.ReplayHook(sink, -1, nil) }
+
+// ReplayHook streams every recorded event into sink, invoking hook once
+// after exactly `at` events have been delivered. A negative at or nil
+// hook disables the callback. Workload replay uses it to fire the
+// build-complete hook (warm-start measurement reset) at the identical
+// event where a live generator would have fired it.
+func (b *Buffer) ReplayHook(sink Sink, at int64, hook func()) error {
+	if hook != nil && at == 0 {
+		hook()
+		hook = nil
+	}
+	data := b.data
+	var n int64
+	for pos := 0; pos < len(data); {
+		e, sz, err := decodeEvent(data[pos:])
+		if err != nil {
+			return fmt.Errorf("trace: buffer corrupt at event %d: %w", n, err)
+		}
+		pos += sz
+		if err := sink.Emit(e); err != nil {
+			return err
+		}
+		n++
+		if hook != nil && n == at {
+			hook()
+			hook = nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"odbgc/internal/heap"
+)
+
+// bufferTestEvents covers every kind and the conditional create layouts.
+func bufferTestEvents() []Event {
+	return []Event{
+		{Kind: KindCreate, OID: 1, Size: 120, NFields: 4},
+		{Kind: KindRoot, OID: 1},
+		{Kind: KindCreate, OID: 2, Size: 90, NFields: 4, Parent: 1, ParentField: 1},
+		{Kind: KindCreate, OID: 3, Size: 65536, NFields: 0, Parent: 2, ParentField: 3},
+		{Kind: KindRead, OID: 2},
+		{Kind: KindModify, OID: 1},
+		{Kind: KindWrite, OID: 1, Field: 1, Target: heap.NilOID},
+		{Kind: KindWrite, OID: 2, Field: 2, Target: 1},
+	}
+}
+
+func TestBufferRoundTrip(t *testing.T) {
+	var b Buffer
+	want := bufferTestEvents()
+	for _, e := range want {
+		if err := b.Emit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Len() != int64(len(want)) {
+		t.Fatalf("Len = %d, want %d", b.Len(), len(want))
+	}
+	b.Compact()
+	if b.SizeBytes() == 0 || b.SizeBytes() > int64(len(want))*32 {
+		t.Fatalf("SizeBytes = %d implausible for %d events", b.SizeBytes(), len(want))
+	}
+	var got collectSink
+	if err := b.Replay(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.events, want) {
+		t.Fatalf("replay diverged:\n got %+v\nwant %+v", got.events, want)
+	}
+	// Replays are repeatable.
+	var again collectSink
+	if err := b.Replay(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again.events, want) {
+		t.Fatal("second replay diverged")
+	}
+}
+
+func TestBufferRejectsInvalidEvent(t *testing.T) {
+	var b Buffer
+	if err := b.Emit(Event{Kind: KindCreate, OID: heap.NilOID, Size: 10}); err == nil {
+		t.Fatal("invalid event accepted")
+	}
+	if b.Len() != 0 {
+		t.Fatalf("invalid event recorded: Len = %d", b.Len())
+	}
+}
+
+func TestBufferReplayHookPosition(t *testing.T) {
+	var b Buffer
+	events := bufferTestEvents()
+	for _, e := range events {
+		if err := b.Emit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, at := range []int64{0, 3, int64(len(events))} {
+		var seenAtHook int64 = -1
+		sink := &collectSink{}
+		err := b.ReplayHook(sink, at, func() { seenAtHook = int64(len(sink.events)) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seenAtHook != at {
+			t.Errorf("hook at %d fired after %d events", at, seenAtHook)
+		}
+	}
+	// A negative position or nil hook never fires.
+	fired := false
+	if err := b.ReplayHook(&collectSink{}, -1, func() { fired = true }); err != nil || fired {
+		t.Fatalf("err=%v fired=%v", err, fired)
+	}
+}
+
+func TestBufferMatchesWriterEncoding(t *testing.T) {
+	// The buffer shares appendEvent with the file Writer, so each event's
+	// packed form must decode back to itself via decodeEvent.
+	for _, e := range bufferTestEvents() {
+		enc := appendEvent(nil, e)
+		got, n, err := decodeEvent(enc)
+		if err != nil {
+			t.Fatalf("%+v: %v", e, err)
+		}
+		if n != len(enc) {
+			t.Errorf("%+v: consumed %d of %d bytes", e, n, len(enc))
+		}
+		if !reflect.DeepEqual(got, e) {
+			t.Errorf("decode(%+v) = %+v", e, got)
+		}
+	}
+	if _, _, err := decodeEvent([]byte{0xFF}); err == nil {
+		t.Error("unknown opcode accepted")
+	}
+	if _, _, err := decodeEvent(appendEvent(nil, Event{Kind: KindWrite, OID: 7, Field: 1, Target: 9})[:2]); err == nil {
+		t.Error("truncated event accepted")
+	}
+}

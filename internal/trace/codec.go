@@ -42,15 +42,9 @@ func (w *Writer) start() error {
 	return err
 }
 
-// Emit encodes one event. It implements Sink.
-func (w *Writer) Emit(e Event) error {
-	if err := e.Validate(); err != nil {
-		return err
-	}
-	if err := w.start(); err != nil {
-		return err
-	}
-	b := w.scratch[:0]
+// appendEvent appends the packed opcode+varint encoding of e to b. It is
+// the single encoder shared by the file Writer and the in-memory Buffer.
+func appendEvent(b []byte, e Event) []byte {
 	b = append(b, byte(e.Kind))
 	switch e.Kind {
 	case KindCreate:
@@ -68,6 +62,63 @@ func (w *Writer) Emit(e Event) error {
 		b = binary.AppendUvarint(b, uint64(e.Field))
 		b = binary.AppendUvarint(b, uint64(e.Target))
 	}
+	return b
+}
+
+// decodeEvent decodes one packed event from the front of data, returning
+// the event and the number of bytes consumed. It is the slice-based
+// counterpart of Reader.Next used by Buffer replay; it checks structure
+// (opcodes, truncation) but not Validate — buffers only hold events that
+// were validated on the way in.
+func decodeEvent(data []byte) (Event, int, error) {
+	if len(data) == 0 {
+		return Event{}, 0, io.ErrUnexpectedEOF
+	}
+	e := Event{Kind: Kind(data[0])}
+	pos := 1
+	bad := false
+	uv := func() uint64 {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			bad = true
+			return 0
+		}
+		pos += n
+		return v
+	}
+	switch e.Kind {
+	case KindCreate:
+		e.OID = heap.OID(uv())
+		e.Size = int64(uv())
+		e.NFields = int(uv())
+		e.Parent = heap.OID(uv())
+		if !bad && e.Parent != heap.NilOID {
+			e.ParentField = int(uv())
+		}
+	case KindRoot, KindRead, KindModify:
+		e.OID = heap.OID(uv())
+	case KindWrite:
+		e.OID = heap.OID(uv())
+		e.Field = int(uv())
+		e.Target = heap.OID(uv())
+	default:
+		return Event{}, 0, fmt.Errorf("trace: unknown opcode %d", data[0])
+	}
+	if bad {
+		return Event{}, 0, io.ErrUnexpectedEOF
+	}
+	return e, pos, nil
+}
+
+// Emit encodes one event. It implements Sink.
+func (w *Writer) Emit(e Event) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	if err := w.start(); err != nil {
+		return err
+	}
+	b := appendEvent(w.scratch[:0], e)
 	w.scratch = b[:0]
 	if _, err := w.bw.Write(b); err != nil {
 		return err

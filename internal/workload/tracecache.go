@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"container/list"
+	"sync"
+
+	"odbgc/internal/trace"
+)
+
+// The paper's pairing discipline replays the same workload seed under
+// every selection policy (Section 4), so a naive suite regenerates each
+// seed's identical event stream once per policy — up to six times. A
+// RecordedTrace captures one seed's stream in trace.Buffer's packed
+// encoding; a TraceCache shares recorded traces across every simulation
+// of a suite under a bounded memory budget.
+
+// RecordedTrace is one workload configuration's complete event stream,
+// generated once and replayable into any number of simulators. Replays
+// are bit-identical to running the generator live: same events, same
+// order, same build-phase boundary.
+type RecordedTrace struct {
+	// Config is the generating configuration (including the seed).
+	Config Config
+	// Stats is the generator's trace summary.
+	Stats Stats
+	// Buffer holds the packed events.
+	Buffer *trace.Buffer
+	// BuildEvents is the number of events emitted before the generator's
+	// build-complete hook fired (the build/churn boundary), or -1 if the
+	// generator never fired it. Warm-start replays reset measurement
+	// there.
+	BuildEvents int64
+}
+
+// Record generates cfg's full event stream into a packed in-memory
+// buffer.
+func Record(cfg Config) (*RecordedTrace, error) {
+	g, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rt := &RecordedTrace{Config: cfg, Buffer: &trace.Buffer{}, BuildEvents: -1}
+	g.SetBuildCompleteHook(func() { rt.BuildEvents = rt.Buffer.Len() })
+	st, err := g.Run(rt.Buffer)
+	if err != nil {
+		return nil, err
+	}
+	rt.Stats = st
+	rt.Buffer.Compact()
+	return rt, nil
+}
+
+// Replay streams the recorded events into sink. A non-nil buildDone runs
+// at the build/churn boundary — the point where a live generator would
+// have invoked its build-complete hook — so warm-start simulations reset
+// their measurement window at the identical event.
+func (rt *RecordedTrace) Replay(sink trace.Sink, buildDone func()) error {
+	if buildDone != nil && rt.BuildEvents >= 0 {
+		return rt.Buffer.ReplayHook(sink, rt.BuildEvents, buildDone)
+	}
+	return rt.Buffer.Replay(sink)
+}
+
+// SizeBytes is the trace's memory footprint for cache accounting.
+func (rt *RecordedTrace) SizeBytes() int64 { return rt.Buffer.SizeBytes() }
+
+// DefaultTraceCacheBytes is the suite harness's default cache budget. It
+// comfortably holds the base experiments' ten seed traces while forcing
+// eviction across the Figure 6 scalability sweep's larger ones.
+const DefaultTraceCacheBytes = 256 << 20
+
+// CacheStats counts TraceCache traffic.
+type CacheStats struct {
+	// Hits are Gets served from a cached (or in-flight) trace; Misses
+	// generated a new one; Evictions removed a trace to respect the
+	// budget.
+	Hits, Misses, Evictions int64
+	// UsedBytes and PeakBytes track the budget accounting.
+	UsedBytes, PeakBytes int64
+}
+
+// TraceCache generates each distinct workload configuration's trace once
+// and shares it between concurrent simulations. It is safe for use from
+// many goroutines: concurrent Gets of the same configuration wait for a
+// single generation instead of duplicating it. Memory is bounded by a
+// byte budget with least-recently-used eviction; an evicted trace is
+// simply regenerated if requested again.
+type TraceCache struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	entries map[Config]*cacheEntry
+	lru     *list.List // of *cacheEntry, front = most recent
+	stats   CacheStats
+}
+
+type cacheEntry struct {
+	key   Config
+	ready chan struct{} // closed once rt/err are set
+	rt    *RecordedTrace
+	err   error
+	size  int64 // 0 until generation completes
+	elem  *list.Element
+}
+
+// NewTraceCache returns a cache bounded to budget bytes of packed trace
+// data; budget <= 0 disables eviction (unbounded).
+func NewTraceCache(budget int64) *TraceCache {
+	return &TraceCache{
+		budget:  budget,
+		entries: make(map[Config]*cacheEntry),
+		lru:     list.New(),
+	}
+}
+
+// Get returns cfg's recorded trace, generating it on first use. Callers
+// may hold and replay the returned trace for as long as they like;
+// eviction only affects future Gets.
+func (c *TraceCache) Get(cfg Config) (*RecordedTrace, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[cfg]; ok {
+		c.stats.Hits++
+		c.lru.MoveToFront(e.elem)
+		c.mu.Unlock()
+		<-e.ready
+		return e.rt, e.err
+	}
+	e := &cacheEntry{key: cfg, ready: make(chan struct{})}
+	e.elem = c.lru.PushFront(e)
+	c.entries[cfg] = e
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	rt, err := Record(cfg)
+	e.rt, e.err = rt, err
+
+	c.mu.Lock()
+	if err != nil {
+		// Do not cache failures; a later Get retries.
+		c.removeLocked(e)
+	} else {
+		e.size = rt.SizeBytes()
+		c.used += e.size
+		if c.used > c.stats.PeakBytes {
+			c.stats.PeakBytes = c.used
+		}
+		c.evictLocked(e)
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	return rt, err
+}
+
+// evictLocked drops least-recently-used completed traces until the
+// budget is met, never evicting keep (the entry just inserted) or
+// entries still generating.
+func (c *TraceCache) evictLocked(keep *cacheEntry) {
+	if c.budget <= 0 {
+		return
+	}
+	for el := c.lru.Back(); el != nil && c.used > c.budget; {
+		e := el.Value.(*cacheEntry)
+		el = el.Prev()
+		if e == keep || e.size == 0 {
+			continue
+		}
+		c.removeLocked(e)
+		c.stats.Evictions++
+	}
+}
+
+func (c *TraceCache) removeLocked(e *cacheEntry) {
+	delete(c.entries, e.key)
+	c.lru.Remove(e.elem)
+	c.used -= e.size
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *TraceCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.UsedBytes = c.used
+	return st
+}

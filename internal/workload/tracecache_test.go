@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"odbgc/internal/trace"
+)
+
+// cacheTestConfig is a small, fast workload.
+func cacheTestConfig(seed int64) Config {
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.TargetLiveBytes = 60_000
+	cfg.TotalAllocBytes = 200_000
+	cfg.MinDeletions = 150
+	cfg.MeanTreeNodes = 120
+	cfg.LargeObjectSize = 4096
+	cfg.LargeEvery = 160
+	return cfg
+}
+
+type eventListSink struct{ events []trace.Event }
+
+func (s *eventListSink) Emit(e trace.Event) error {
+	s.events = append(s.events, e)
+	return nil
+}
+
+func TestRecordMatchesLiveGeneration(t *testing.T) {
+	cfg := cacheTestConfig(7)
+
+	rt, err := Record(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live eventListSink
+	var liveBuild int64 = -1
+	g.SetBuildCompleteHook(func() { liveBuild = int64(len(live.events)) })
+	liveStats, err := g.Run(&live)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var replayed eventListSink
+	var replayBuild int64 = -1
+	if err := rt.Replay(&replayed, func() { replayBuild = int64(len(replayed.events)) }); err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(replayed.events, live.events) {
+		t.Fatalf("replayed %d events diverge from live %d events", len(replayed.events), len(live.events))
+	}
+	if !reflect.DeepEqual(rt.Stats, liveStats) {
+		t.Fatalf("stats diverge:\n rec %+v\nlive %+v", rt.Stats, liveStats)
+	}
+	if rt.BuildEvents != liveBuild || replayBuild != liveBuild {
+		t.Fatalf("build boundary: recorded %d, replayed %d, live %d", rt.BuildEvents, replayBuild, liveBuild)
+	}
+	if rt.BuildEvents <= 0 || rt.BuildEvents >= rt.Buffer.Len() {
+		t.Fatalf("build boundary %d outside (0, %d)", rt.BuildEvents, rt.Buffer.Len())
+	}
+	if rt.SizeBytes() <= 0 {
+		t.Fatal("trace reports no size")
+	}
+}
+
+func TestTraceCacheSharesGenerations(t *testing.T) {
+	c := NewTraceCache(0) // unbounded
+	cfg := cacheTestConfig(3)
+
+	const callers = 8
+	traces := make([]*RecordedTrace, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rt, err := c.Get(cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			traces[i] = rt
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if traces[i] != traces[0] {
+			t.Fatalf("caller %d got a different trace instance", i)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != callers-1 {
+		t.Fatalf("stats = %+v, want 1 miss and %d hits", st, callers-1)
+	}
+	if st.UsedBytes != traces[0].SizeBytes() {
+		t.Fatalf("used %d != trace size %d", st.UsedBytes, traces[0].SizeBytes())
+	}
+}
+
+func TestTraceCacheEvictsLRU(t *testing.T) {
+	one, err := Record(cacheTestConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A budget of ~1.5 traces keeps the newest trace only.
+	c := NewTraceCache(one.SizeBytes() * 3 / 2)
+	for seed := int64(1); seed <= 3; seed++ {
+		if _, err := c.Get(cacheTestConfig(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions under budget pressure: %+v", st)
+	}
+	if st.UsedBytes > one.SizeBytes()*3/2 {
+		t.Fatalf("used %d exceeds budget: %+v", st.UsedBytes, st)
+	}
+	// The most recent seed is still cached; an older one regenerates.
+	before := c.Stats().Misses
+	if _, err := c.Get(cacheTestConfig(3)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Misses != before {
+		t.Fatal("most recent trace was evicted")
+	}
+	if _, err := c.Get(cacheTestConfig(1)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Misses != before+1 {
+		t.Fatal("evicted trace did not regenerate")
+	}
+}
+
+func TestTraceCacheDoesNotCacheErrors(t *testing.T) {
+	c := NewTraceCache(0)
+	bad := cacheTestConfig(1)
+	bad.TargetLiveBytes = -1
+	if _, err := c.Get(bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	st := c.Stats()
+	if st.UsedBytes != 0 {
+		t.Fatalf("failed generation charged to budget: %+v", st)
+	}
+	if _, err := c.Get(bad); err == nil {
+		t.Fatal("retry should fail again")
+	}
+	if got := c.Stats().Misses; got != 2 {
+		t.Fatalf("failed entries should not be cached: misses = %d", got)
+	}
+}
