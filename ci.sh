@@ -14,3 +14,7 @@ go test -race ./internal/sim ./internal/gc
 # orchestration (worker pool + shared cache) and the cache's concurrent
 # generation paths.
 go test -race -run 'Suite|Scheduler|TraceCache|RunRecorded' ./internal/experiments ./internal/workload
+# Codec fuzz smoke: the packed decoder and the columnar freeze must error,
+# never panic, on truncated or corrupted buffers.
+go test -run '^$' -fuzz '^FuzzDecodeEvent$' -fuzztime 5s ./internal/trace
+go test -run '^$' -fuzz '^FuzzFreeze$' -fuzztime 5s ./internal/trace

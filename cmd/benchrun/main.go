@@ -8,11 +8,19 @@
 //	go run ./cmd/benchrun -label baseline
 //	go run ./cmd/benchrun -label after -bench 'Table2Throughput|CollectorOnly'
 //	go run ./cmd/benchrun -suite
+//	go run ./cmd/benchrun -pagebuf
 //
 // -suite is a preset for the orchestration benchmark: it runs
 // BenchmarkSuiteWallClock (serial vs serial+cache vs parallel+cache) in
 // ./internal/experiments and writes results/bench/BENCH_suite.json;
 // -label, -bench, -benchtime, -count, -pkg, and -out still override.
+//
+// -pagebuf is a preset for the page-buffer / trace-replay fast paths: it
+// runs the pagebuf and frozen-trace micro benchmarks at a fixed iteration
+// count and the end-to-end Table2Throughput/CollectorOnly benchmarks at
+// the usual -benchtime 2x, merging both into
+// results/bench/BENCH_<label>.json (label defaults to "pagebuf"); only
+// -label, -count, and -out override.
 //
 // The file is written to -out (default ".") as BENCH_<label>.json and holds
 // one record per benchmark: name, iterations, ns/op, B/op, allocs/op, and
@@ -58,19 +66,36 @@ type Report struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
+// group is one `go test -bench` invocation: a package set, a benchmark
+// regex, and a benchtime. Presets that mix micro and macro benchmarks
+// (which need very different benchtimes) run several groups and merge the
+// parsed results into one report.
+type group struct {
+	pkgs      string // space-separated package patterns
+	bench     string
+	benchtime string
+}
+
 func main() {
 	label := flag.String("label", "", "label for the output file BENCH_<label>.json (required)")
 	bench := flag.String("bench", "BenchmarkTable2Throughput|BenchmarkCollectorOnly",
 		"benchmark regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "2x", "value passed to go test -benchtime")
 	count := flag.Int("count", 1, "value passed to go test -count")
-	pkg := flag.String("pkg", ".", "package pattern to benchmark")
+	pkg := flag.String("pkg", ".", "package pattern(s, space-separated) to benchmark")
 	out := flag.String("out", ".", "directory for the output file")
 	suite := flag.Bool("suite", false, "preset: record the suite wall-clock benchmark to results/bench/BENCH_suite.json")
+	pagebuf := flag.Bool("pagebuf", false, "preset: record the page-buffer and frozen-replay fast-path benchmarks plus Table2/CollectorOnly to results/bench/BENCH_<label>.json")
 	flag.Parse()
-	if *suite {
-		set := map[string]bool{}
-		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	var groups []group
+	switch {
+	case *suite && *pagebuf:
+		fmt.Fprintln(os.Stderr, "benchrun: -suite and -pagebuf are mutually exclusive")
+		os.Exit(2)
+	case *suite:
 		if !set["label"] {
 			*label = "suite"
 		}
@@ -86,6 +111,28 @@ func main() {
 		if !set["out"] {
 			*out = "results/bench"
 		}
+		groups = []group{{pkgs: *pkg, bench: *bench, benchtime: *benchtime}}
+	case *pagebuf:
+		if !set["label"] {
+			*label = "pagebuf"
+		}
+		if !set["out"] {
+			*out = "results/bench"
+		}
+		groups = []group{
+			{
+				pkgs:      "./internal/pagebuf ./internal/trace",
+				bench:     "BenchmarkPageBufHit$|BenchmarkPageBufMiss$|BenchmarkBufferReplay$|BenchmarkFrozenReplay$",
+				benchtime: "300000x",
+			},
+			{
+				pkgs:      ".",
+				bench:     "BenchmarkTable2Throughput|BenchmarkCollectorOnly",
+				benchtime: "2x",
+			},
+		}
+	default:
+		groups = []group{{pkgs: *pkg, bench: *bench, benchtime: *benchtime}}
 	}
 	if *label == "" {
 		fmt.Fprintln(os.Stderr, "benchrun: -label is required")
@@ -93,43 +140,34 @@ func main() {
 		os.Exit(2)
 	}
 
-	args := []string{"test", "-run", "^$", "-bench", *bench,
-		"-benchtime", *benchtime, "-count", strconv.Itoa(*count), "-benchmem", *pkg}
-	cmd := exec.Command("go", args...)
-	var stdout bytes.Buffer
-	cmd.Stdout = &stdout
-	cmd.Stderr = os.Stderr
-	fmt.Fprintf(os.Stderr, "benchrun: go %s\n", strings.Join(args, " "))
-	if err := cmd.Run(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchrun: go test failed: %v\n%s", err, stdout.String())
-		os.Exit(1)
-	}
-
 	report := Report{
-		Label:      *label,
-		Date:       time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOOS:       runtime.GOOS,
-		GOARCH:     runtime.GOARCH,
-		Packages:   *pkg,
-		BenchRegex: *bench,
-		Benchtime:  *benchtime,
-		Count:      *count,
+		Label:     *label,
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Count:     *count,
 	}
-	for _, line := range strings.Split(stdout.String(), "\n") {
-		line = strings.TrimSpace(line)
-		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+	var pkgsDesc, benchDesc, timeDesc []string
+	for _, g := range groups {
+		pkgsDesc = append(pkgsDesc, g.pkgs)
+		benchDesc = append(benchDesc, g.bench)
+		timeDesc = append(timeDesc, g.benchtime)
+		benchmarks, cpu, err := runGroup(g, *count)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrun: %v\n", err)
+			os.Exit(1)
+		}
+		if cpu != "" {
 			report.CPU = cpu
-			continue
 		}
-		b, ok := parseBenchLine(line)
-		if !ok {
-			continue
-		}
-		report.Benchmarks = append(report.Benchmarks, b)
+		report.Benchmarks = append(report.Benchmarks, benchmarks...)
 	}
+	report.Packages = strings.Join(pkgsDesc, "; ")
+	report.BenchRegex = strings.Join(benchDesc, "; ")
+	report.Benchtime = strings.Join(timeDesc, "; ")
 	if len(report.Benchmarks) == 0 {
-		fmt.Fprintf(os.Stderr, "benchrun: no benchmark lines matched %q\n", *bench)
+		fmt.Fprintf(os.Stderr, "benchrun: no benchmark lines matched %q\n", report.BenchRegex)
 		os.Exit(1)
 	}
 
@@ -148,6 +186,37 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(report.Benchmarks))
+}
+
+// runGroup executes one `go test -bench` invocation and parses its
+// result lines.
+func runGroup(g group, count int) ([]Benchmark, string, error) {
+	args := []string{"test", "-run", "^$", "-bench", g.bench,
+		"-benchtime", g.benchtime, "-count", strconv.Itoa(count), "-benchmem"}
+	args = append(args, strings.Fields(g.pkgs)...)
+	cmd := exec.Command("go", args...)
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = os.Stderr
+	fmt.Fprintf(os.Stderr, "benchrun: go %s\n", strings.Join(args, " "))
+	if err := cmd.Run(); err != nil {
+		return nil, "", fmt.Errorf("go test failed: %v\n%s", err, stdout.String())
+	}
+	var benchmarks []Benchmark
+	var cpu string
+	for _, line := range strings.Split(stdout.String(), "\n") {
+		line = strings.TrimSpace(line)
+		if c, ok := strings.CutPrefix(line, "cpu: "); ok {
+			cpu = c
+			continue
+		}
+		b, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		benchmarks = append(benchmarks, b)
+	}
+	return benchmarks, cpu, nil
 }
 
 // parseBenchLine parses one `go test -bench` result line, e.g.

@@ -33,3 +33,39 @@ func BenchmarkClockHitHeavy(b *testing.B) { benchAccesses(b, Clock, 32) }
 func BenchmarkClockMissHeavy(b *testing.B) {
 	benchAccesses(b, Clock, 1024)
 }
+
+// BenchmarkPageBufHit measures the pure hit path: a working set smaller
+// than the buffer, so after warmup every access is a hit and the only
+// work is the index lookup plus the recency update.
+func BenchmarkPageBufHit(b *testing.B) {
+	buf, err := New(48)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for p := PageID(0); p < 32; p++ {
+		buf.Write(p, ActorApp)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Read(PageID(i&31), ActorApp)
+	}
+}
+
+// BenchmarkPageBufMiss measures the steady-state miss path: a cyclic
+// sweep over far more pages than frames, so every access misses, evicts
+// a dirty page, and re-reads a persisted one.
+func BenchmarkPageBufMiss(b *testing.B) {
+	buf, err := New(48)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for p := PageID(0); p < 4096; p++ {
+		buf.Write(p, ActorApp)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Write(PageID(i&4095), ActorApp)
+	}
+}

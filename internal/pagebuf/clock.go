@@ -1,9 +1,6 @@
 package pagebuf
 
-import (
-	"container/list"
-	"fmt"
-)
+import "fmt"
 
 // Replacement selects the page replacement algorithm of a buffer. The
 // paper simulates an LRU buffer; CLOCK is the classic cheap
@@ -52,43 +49,37 @@ func NewWithReplacement(capacity int, r Replacement) (*Buffer, error) {
 // Replacement reports the buffer's replacement algorithm.
 func (b *Buffer) Replacement() Replacement { return b.replacement }
 
-// clockTouch is the hit/insert path under CLOCK: hits set the reference
-// bit; misses insert behind the hand.
-func (b *Buffer) clockTouch(el *list.Element, write bool) {
-	f := el.Value.(*frame)
-	f.referenced = true
-	if write {
-		f.dirty = true
-	}
-}
-
 // clockEvict advances the hand until it finds an unreferenced frame,
-// clearing reference bits along the way, and evicts that frame.
+// clearing reference bits along the way, and evicts that frame. Under
+// CLOCK the frame list is the ring in insertion order; the hand wraps
+// from the tail back to the head.
 func (b *Buffer) clockEvict(actor Actor) {
-	if b.hand == nil {
-		b.hand = b.lru.Front()
+	if b.hand == nilFrame {
+		b.hand = b.head
 	}
 	for {
-		if b.hand == nil {
-			b.hand = b.lru.Front()
+		if b.hand == nilFrame {
+			b.hand = b.head
 		}
-		f := b.hand.Value.(*frame)
+		f := &b.frames[b.hand]
 		if f.referenced {
 			f.referenced = false
-			b.hand = b.hand.Next()
+			b.hand = f.next
 			continue
 		}
 		victim := b.hand
-		b.hand = b.hand.Next()
+		b.hand = f.next
+		page := f.page
 		if f.dirty {
 			b.stats.ByActor[actor].WriteIOs++
-			b.onDisk[f.page] = struct{}{}
+			b.onDisk.add(page)
 			if b.writeBack != nil {
-				b.writeBack(f.page, actor)
+				b.writeBack(page, actor)
 			}
 		}
-		b.lru.Remove(victim)
-		delete(b.frames, f.page)
+		b.unlink(victim)
+		b.idx.del(page)
+		b.release(victim)
 		return
 	}
 }

@@ -4,12 +4,16 @@
 // goes through the buffer; the buffer counts the disk read and write I/O
 // operations that result, attributed separately to the application and to
 // the garbage collector.
+//
+// Because the buffer sits on the per-event fast path of every simulation,
+// its structures are dense and allocation-free in steady state: page
+// frames live in one arena slice linked by int32 indices (an intrusive
+// LRU list / CLOCK ring), and the PageID lookup and on-disk set are dense
+// slices for the contiguous-from-zero page IDs the simulator produces,
+// falling back to maps only for sparse address spaces.
 package pagebuf
 
-import (
-	"container/list"
-	"fmt"
-)
+import "fmt"
 
 // PageID identifies one page of the simulated database address space.
 type PageID int64
@@ -79,8 +83,16 @@ func (s Stats) TotalIOs() int64 {
 	return n
 }
 
+// nilFrame terminates frame chains (the arena analogue of a nil pointer).
+const nilFrame = int32(-1)
+
+// frame is one page slot in the buffer's frame arena. prev/next link the
+// frame into the replacement order: under LRU a most-recent-first list,
+// under CLOCK the ring in insertion order. Unused slots are chained into
+// a free list through next.
 type frame struct {
 	page       PageID
+	prev, next int32
 	dirty      bool
 	referenced bool // CLOCK reference bit
 }
@@ -89,11 +101,14 @@ type frame struct {
 // NewWithReplacement for CLOCK).
 type Buffer struct {
 	capacity    int
-	frames      map[PageID]*list.Element // value: *frame
-	lru         *list.List               // LRU: front = most recent; CLOCK: the ring
-	hand        *list.Element            // CLOCK hand
+	frames      []frame   // arena, one slot per frame, allocated once
+	head, tail  int32     // LRU: head = most recent; CLOCK: insertion order
+	free        int32     // head of the free-slot chain (through frame.next)
+	hand        int32     // CLOCK hand
+	n           int       // cached page count
+	idx         pageIndex // PageID -> arena index of its frame
+	onDisk      pageSet   // pages with a persistent copy
 	replacement Replacement
-	onDisk      map[PageID]struct{} // pages with a persistent copy
 	stats       Stats
 
 	// Backing-store hooks, nil for a plain buffer. fetch runs when a miss
@@ -110,25 +125,29 @@ func New(capacity int) (*Buffer, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("pagebuf: capacity %d must be positive", capacity)
 	}
-	return &Buffer{
+	b := &Buffer{
 		capacity: capacity,
-		frames:   make(map[PageID]*list.Element, capacity),
-		lru:      list.New(),
-		onDisk:   make(map[PageID]struct{}),
-	}, nil
+		frames:   make([]frame, capacity),
+		head:     nilFrame,
+		tail:     nilFrame,
+		free:     nilFrame,
+		hand:     nilFrame,
+	}
+	for i := capacity - 1; i >= 0; i-- {
+		b.frames[i].next = b.free
+		b.free = int32(i)
+	}
+	return b, nil
 }
 
 // Capacity returns the buffer's size in pages.
 func (b *Buffer) Capacity() int { return b.capacity }
 
 // Len returns the number of pages currently cached.
-func (b *Buffer) Len() int { return b.lru.Len() }
+func (b *Buffer) Len() int { return b.n }
 
 // Contains reports whether the page is currently cached.
-func (b *Buffer) Contains(p PageID) bool {
-	_, ok := b.frames[p]
-	return ok
-}
+func (b *Buffer) Contains(p PageID) bool { return b.idx.get(p) != nilFrame }
 
 // Stats returns a snapshot of the buffer's counters.
 func (b *Buffer) Stats() Stats { return b.stats }
@@ -158,25 +177,74 @@ func (b *Buffer) WriteRange(first, last PageID, actor Actor) {
 	}
 }
 
+// unlink removes frame i from the replacement list.
+func (b *Buffer) unlink(i int32) {
+	f := &b.frames[i]
+	if f.prev != nilFrame {
+		b.frames[f.prev].next = f.next
+	} else {
+		b.head = f.next
+	}
+	if f.next != nilFrame {
+		b.frames[f.next].prev = f.prev
+	} else {
+		b.tail = f.prev
+	}
+	f.prev, f.next = nilFrame, nilFrame
+}
+
+// pushFront links frame i at the head of the replacement list.
+func (b *Buffer) pushFront(i int32) {
+	f := &b.frames[i]
+	f.prev, f.next = nilFrame, b.head
+	if b.head != nilFrame {
+		b.frames[b.head].prev = i
+	} else {
+		b.tail = i
+	}
+	b.head = i
+}
+
+// pushBack links frame i at the tail of the replacement list.
+func (b *Buffer) pushBack(i int32) {
+	f := &b.frames[i]
+	f.prev, f.next = b.tail, nilFrame
+	if b.tail != nilFrame {
+		b.frames[b.tail].next = i
+	} else {
+		b.head = i
+	}
+	b.tail = i
+}
+
+// release returns frame i to the free chain after it has been unlinked.
+func (b *Buffer) release(i int32) {
+	b.frames[i].next = b.free
+	b.free = i
+	b.n--
+}
+
 func (b *Buffer) touch(p PageID, write bool, actor Actor) {
 	st := &b.stats.ByActor[actor]
 	st.Accesses++
 
-	if el, ok := b.frames[p]; ok {
+	if i := b.idx.get(p); i != nilFrame {
 		st.Hits++
+		f := &b.frames[i]
 		if b.replacement == Clock {
-			b.clockTouch(el, write)
-		} else {
-			b.lru.MoveToFront(el)
-			if write {
-				el.Value.(*frame).dirty = true
-			}
+			f.referenced = true
+		} else if b.head != i {
+			b.unlink(i)
+			b.pushFront(i)
+		}
+		if write {
+			f.dirty = true
 		}
 		return
 	}
 
 	st.Misses++
-	if _, persisted := b.onDisk[p]; persisted {
+	if b.onDisk.has(p) {
 		st.ReadIOs++
 		if b.fetch != nil {
 			b.fetch(p, actor)
@@ -184,47 +252,53 @@ func (b *Buffer) touch(p PageID, write bool, actor Actor) {
 	}
 	// A miss on a never-persisted page materializes a fresh page in the
 	// buffer with no disk read (write-allocate of newly created data).
-	if b.lru.Len() >= b.capacity {
+	if b.n >= b.capacity {
 		if b.replacement == Clock {
 			b.clockEvict(actor)
 		} else {
 			b.evict(actor)
 		}
 	}
-	f := &frame{page: p, dirty: write, referenced: true}
+	i := b.free
+	b.free = b.frames[i].next
+	b.frames[i] = frame{page: p, prev: nilFrame, next: nilFrame, dirty: write, referenced: true}
 	if b.replacement == Clock {
-		b.frames[p] = b.lru.PushBack(f)
+		b.pushBack(i)
 	} else {
-		b.frames[p] = b.lru.PushFront(f)
+		b.pushFront(i)
 	}
+	b.idx.set(p, i)
+	b.n++
 }
 
 // evict removes the least recently used page, charging a disk write to
 // actor if the page is dirty.
 func (b *Buffer) evict(actor Actor) {
-	el := b.lru.Back()
-	f := el.Value.(*frame)
+	i := b.tail
+	f := &b.frames[i]
+	page := f.page
 	if f.dirty {
 		b.stats.ByActor[actor].WriteIOs++
-		b.onDisk[f.page] = struct{}{}
+		b.onDisk.add(page)
 		if b.writeBack != nil {
-			b.writeBack(f.page, actor)
+			b.writeBack(page, actor)
 		}
 	}
-	b.lru.Remove(el)
-	delete(b.frames, f.page)
+	b.unlink(i)
+	b.idx.del(page)
+	b.release(i)
 }
 
 // Flush writes back every dirty cached page, charging the writes to actor.
 // Cached pages stay resident (and clean). Flush is not part of the paper's
 // measured runs; it exists for end-of-simulation consistency checks.
 func (b *Buffer) Flush(actor Actor) {
-	for el := b.lru.Front(); el != nil; el = el.Next() {
-		f := el.Value.(*frame)
+	for i := b.head; i != nilFrame; i = b.frames[i].next {
+		f := &b.frames[i]
 		if f.dirty {
 			f.dirty = false
 			b.stats.ByActor[actor].WriteIOs++
-			b.onDisk[f.page] = struct{}{}
+			b.onDisk.add(f.page)
 			if b.writeBack != nil {
 				b.writeBack(f.page, actor)
 			}
@@ -235,10 +309,112 @@ func (b *Buffer) Flush(actor Actor) {
 // DirtyPages returns the number of cached dirty pages.
 func (b *Buffer) DirtyPages() int {
 	n := 0
-	for el := b.lru.Front(); el != nil; el = el.Next() {
-		if el.Value.(*frame).dirty {
+	for i := b.head; i != nilFrame; i = b.frames[i].next {
+		if b.frames[i].dirty {
 			n++
 		}
 	}
 	return n
+}
+
+// maxDensePages bounds the dense PageID-keyed slices at 4 MB of index
+// (2^20 pages = 8 GB of 8 KB pages), far beyond the paper's sweeps. IDs
+// outside [0, maxDensePages) fall back to the sparse maps.
+const maxDensePages = 1 << 20
+
+// pageIndex maps PageID -> frame arena index (nilFrame = absent). The
+// simulator's page IDs are contiguous from zero (heap address / page
+// size), so lookups are one dense slice access; exotic IDs — possible
+// only for library callers — go to a lazily allocated map.
+type pageIndex struct {
+	dense  []int32
+	sparse map[PageID]int32
+}
+
+func (x *pageIndex) get(p PageID) int32 {
+	if uint64(p) < uint64(len(x.dense)) {
+		return x.dense[p]
+	}
+	if x.sparse != nil {
+		if i, ok := x.sparse[p]; ok {
+			return i
+		}
+	}
+	return nilFrame
+}
+
+func (x *pageIndex) set(p PageID, i int32) {
+	if uint64(p) < maxDensePages {
+		if int(p) >= len(x.dense) {
+			x.dense = growDense(x.dense, int(p), nilFrame)
+		}
+		x.dense[p] = i
+		return
+	}
+	if x.sparse == nil {
+		x.sparse = make(map[PageID]int32)
+	}
+	x.sparse[p] = i
+}
+
+func (x *pageIndex) del(p PageID) {
+	if uint64(p) < uint64(len(x.dense)) {
+		x.dense[p] = nilFrame
+		return
+	}
+	delete(x.sparse, p)
+}
+
+// pageSet is a dense page membership set with the same sparse fallback
+// as pageIndex; the buffer uses it for the set of persisted pages.
+type pageSet struct {
+	dense  []bool
+	sparse map[PageID]struct{}
+}
+
+func (s *pageSet) has(p PageID) bool {
+	if uint64(p) < uint64(len(s.dense)) {
+		return s.dense[p]
+	}
+	if s.sparse != nil {
+		_, ok := s.sparse[p]
+		return ok
+	}
+	return false
+}
+
+func (s *pageSet) add(p PageID) {
+	if uint64(p) < maxDensePages {
+		if int(p) >= len(s.dense) {
+			s.dense = growDense(s.dense, int(p), false)
+		}
+		s.dense[p] = true
+		return
+	}
+	if s.sparse == nil {
+		s.sparse = make(map[PageID]struct{})
+	}
+	s.sparse[p] = struct{}{}
+}
+
+// growDense extends a dense PageID-keyed slice to cover index p, doubling
+// so growth cost amortizes to O(1) per page, and fills new slots with
+// empty.
+func growDense[T any](dense []T, p int, empty T) []T {
+	n := 2 * len(dense)
+	if n < 64 {
+		n = 64
+	}
+	if n <= p {
+		n = p + 1
+	}
+	if n > maxDensePages {
+		n = maxDensePages
+	}
+	grown := make([]T, n)
+	copy(grown, dense)
+	for i := len(dense); i < n; i++ {
+		grown[i] = empty
+	}
+	return grown
 }

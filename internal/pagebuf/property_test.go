@@ -6,6 +6,17 @@ import (
 	"testing/quick"
 )
 
+// pagesMRU returns the cached pages in list order (most-recently-used
+// first under LRU, insertion order under CLOCK); tests use it to audit
+// the intrusive frame list against reference models.
+func (b *Buffer) pagesMRU() []PageID {
+	var out []PageID
+	for i := b.head; i != nilFrame; i = b.frames[i].next {
+		out = append(out, b.frames[i].page)
+	}
+	return out
+}
+
 // refBuffer is a deliberately naive reference implementation of an LRU
 // write-back buffer, used as the model in model-based property tests.
 type refBuffer struct {
@@ -87,9 +98,11 @@ func TestBufferMatchesReferenceModel(t *testing.T) {
 			t.Errorf("Len %d, model %d", b.Len(), len(ref.order))
 			return false
 		}
-		for _, p := range ref.order {
-			if !b.Contains(p) {
-				t.Errorf("buffer missing page %d held by model", p)
+		// The intrusive list must reproduce the model's exact recency
+		// order, not just its membership.
+		for i, p := range b.pagesMRU() {
+			if ref.order[i] != p {
+				t.Errorf("recency order diverged at %d: buffer %v, model %v", i, b.pagesMRU(), ref.order)
 				return false
 			}
 		}
@@ -161,9 +174,9 @@ func TestLRUInclusionProperty(t *testing.T) {
 			}
 			// Inclusion: everything the small buffer holds, the big
 			// buffer holds.
-			for el := bs.lru.Front(); el != nil; el = el.Next() {
-				if !bb.Contains(el.Value.(*frame).page) {
-					t.Errorf("inclusion violated for page %d", el.Value.(*frame).page)
+			for _, p := range bs.pagesMRU() {
+				if !bb.Contains(p) {
+					t.Errorf("inclusion violated for page %d", p)
 					return false
 				}
 			}
@@ -214,4 +227,137 @@ func TestReadImpliesPriorWriteBack(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// actorRef is a naive per-actor LRU write-back buffer with backing-store
+// hooks, the reference model for the tiered client/server composition:
+// a client actorRef whose fetch/writeBack feed a server actorRef.
+type actorRef struct {
+	capacity  int
+	order     []PageID // index 0 = most recently used
+	dirty     map[PageID]bool
+	onDisk    map[PageID]bool
+	stats     [numActors]ActorStats
+	fetch     func(PageID, Actor)
+	writeBack func(PageID, Actor)
+}
+
+func newActorRef(capacity int) *actorRef {
+	return &actorRef{
+		capacity: capacity,
+		dirty:    make(map[PageID]bool),
+		onDisk:   make(map[PageID]bool),
+	}
+}
+
+func (r *actorRef) touch(p PageID, write bool, a Actor) {
+	r.stats[a].Accesses++
+	for i, q := range r.order {
+		if q == p {
+			r.stats[a].Hits++
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			r.order = append([]PageID{p}, r.order...)
+			if write {
+				r.dirty[p] = true
+			}
+			return
+		}
+	}
+	r.stats[a].Misses++
+	if r.onDisk[p] {
+		r.stats[a].ReadIOs++
+		if r.fetch != nil {
+			r.fetch(p, a)
+		}
+	}
+	if len(r.order) >= r.capacity {
+		victim := r.order[len(r.order)-1]
+		r.order = r.order[:len(r.order)-1]
+		if r.dirty[victim] {
+			r.stats[a].WriteIOs++
+			r.onDisk[victim] = true
+			if r.writeBack != nil {
+				r.writeBack(victim, a)
+			}
+		}
+		delete(r.dirty, victim)
+	}
+	r.order = append([]PageID{p}, r.order...)
+	if write {
+		r.dirty[p] = true
+	}
+}
+
+// TestTieredMatchesReferenceModel drives random access sequences with
+// both actors through the two-tier buffer and a nested pair of reference
+// models, requiring identical per-actor network and disk statistics and
+// identical cache contents at both tiers. Client evictions demote dirty
+// pages to the server; client re-fetches promote them back — the hook
+// ordering (fetch before the eviction the miss forces) must match
+// exactly for the server's recency order to agree.
+func TestTieredMatchesReferenceModel(t *testing.T) {
+	f := func(seed int64, clientRaw, serverRaw uint8, nOps uint16) bool {
+		clientCap := int(clientRaw%6) + 1
+		serverCap := int(serverRaw%10) + 1
+		rng := rand.New(rand.NewSource(seed))
+
+		tb, err := NewTiered(clientCap, serverCap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		server := newActorRef(serverCap)
+		client := newActorRef(clientCap)
+		client.fetch = func(p PageID, a Actor) { server.touch(p, false, a) }
+		client.writeBack = func(p PageID, a Actor) { server.touch(p, true, a) }
+
+		for i := 0; i < int(nOps%500)+1; i++ {
+			p := PageID(rng.Intn(3 * clientCap))
+			write := rng.Intn(2) == 0
+			actor := Actor(rng.Intn(2))
+			if write {
+				tb.Client().Write(p, actor)
+			} else {
+				tb.Client().Read(p, actor)
+			}
+			client.touch(p, write, actor)
+		}
+
+		check := func(tier string, got Stats, want [numActors]ActorStats) bool {
+			if got.ByActor != want {
+				t.Errorf("%s stats diverged:\n got %+v\nwant %+v", tier, got.ByActor, want)
+				return false
+			}
+			return true
+		}
+		if !check("client/network", tb.NetworkStats(), client.stats) {
+			return false
+		}
+		if !check("server/disk", tb.DiskStats(), server.stats) {
+			return false
+		}
+		if got, want := tb.Client().pagesMRU(), client.order; !pageOrderEqual(got, want) {
+			t.Errorf("client order: got %v, want %v", got, want)
+			return false
+		}
+		if got, want := tb.Server().pagesMRU(), server.order; !pageOrderEqual(got, want) {
+			t.Errorf("server order: got %v, want %v", got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func pageOrderEqual(a, b []PageID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"odbgc/internal/heap"
+)
+
+// Frozen is the decode-once columnar form of a recorded trace: a
+// structure-of-arrays with one opcode column and one 32-bit operand
+// column, produced by Buffer.Freeze. The packed opcode+uvarint stream is
+// decoded exactly once — replaying a Frozen reassembles each event from
+// sequential column reads, with no varint decoding and no allocation, so
+// a trace cache that replays one seed into many policy simulators pays
+// the decode cost once instead of once per (seed, policy) pair.
+//
+// Operand layout: each event contributes its operands to args in event
+// order — Create: OID, Size, NFields, Parent, then ParentField only when
+// Parent is non-nil (mirroring the packed encoding's conditional field);
+// Root/Read/Modify: OID; Write: OID, Field, Target.
+//
+// A fully built Frozen is immutable and may be replayed from any number
+// of goroutines concurrently.
+type Frozen struct {
+	kinds []Kind
+	args  []uint32
+}
+
+// ErrOperandRange reports that a trace holds an operand too large for
+// the frozen form's 32-bit columns (a >4-billion OID or object size).
+// Callers fall back to replaying the packed buffer, which has no such
+// limit.
+var ErrOperandRange = errors.New("trace: operand exceeds the frozen form's 32-bit columns")
+
+// Freeze decodes the buffer's packed event stream a single time into
+// columnar form. It errors on corrupt or truncated streams and returns
+// ErrOperandRange (wrapped) for traces whose operands exceed 32 bits.
+func (b *Buffer) Freeze() (*Frozen, error) {
+	f := &Frozen{
+		kinds: make([]Kind, 0, b.events),
+		// Most events carry 1–3 operands (creates up to 5); len(data)/2
+		// is a close upper estimate for typical workload kind mixes.
+		args: make([]uint32, 0, len(b.data)/2),
+	}
+	data := b.data
+	var n int64
+	for pos := 0; pos < len(data); {
+		e, sz, err := decodeEvent(data[pos:])
+		if err != nil {
+			return nil, fmt.Errorf("trace: buffer corrupt at event %d: %w", n, err)
+		}
+		pos += sz
+		if err := f.push(e); err != nil {
+			return nil, fmt.Errorf("trace: freeze at event %d: %w", n, err)
+		}
+		n++
+	}
+	return f, nil
+}
+
+// push appends one event to the columns.
+func (f *Frozen) push(e Event) error {
+	ok := true
+	put := func(v uint64) {
+		if v > math.MaxUint32 {
+			ok = false
+			return
+		}
+		f.args = append(f.args, uint32(v))
+	}
+	switch e.Kind {
+	case KindCreate:
+		put(uint64(e.OID))
+		put(uint64(e.Size))
+		put(uint64(e.NFields))
+		put(uint64(e.Parent))
+		if e.Parent != heap.NilOID {
+			put(uint64(e.ParentField))
+		}
+	case KindRoot, KindRead, KindModify:
+		put(uint64(e.OID))
+	case KindWrite:
+		put(uint64(e.OID))
+		put(uint64(e.Field))
+		put(uint64(e.Target))
+	default:
+		return fmt.Errorf("trace: unknown kind %d", e.Kind)
+	}
+	if !ok {
+		return ErrOperandRange
+	}
+	f.kinds = append(f.kinds, e.Kind)
+	return nil
+}
+
+// Len reports the number of frozen events.
+func (f *Frozen) Len() int64 { return int64(len(f.kinds)) }
+
+// SizeBytes reports the memory held by the columns; trace caches charge
+// it against their budget.
+func (f *Frozen) SizeBytes() int64 { return int64(cap(f.kinds)) + 4*int64(cap(f.args)) }
+
+// Replay streams every frozen event into sink in recording order.
+func (f *Frozen) Replay(sink Sink) error { return f.ReplayHook(sink, -1, nil) }
+
+// ReplayHook streams every frozen event into sink, invoking hook once
+// after exactly `at` events have been delivered (a negative at or nil
+// hook disables the callback), with the same semantics as
+// Buffer.ReplayHook. The replay loop performs no decoding and no heap
+// allocation: each event is reassembled from sequential column reads.
+func (f *Frozen) ReplayHook(sink Sink, at int64, hook func()) error {
+	if hook != nil && at == 0 {
+		hook()
+		hook = nil
+	}
+	args := f.args
+	a := 0
+	for n, k := range f.kinds {
+		var e Event
+		e.Kind = k
+		switch k {
+		case KindCreate:
+			e.OID = heap.OID(args[a])
+			e.Size = int64(args[a+1])
+			e.NFields = int(args[a+2])
+			e.Parent = heap.OID(args[a+3])
+			a += 4
+			if e.Parent != heap.NilOID {
+				e.ParentField = int(args[a])
+				a++
+			}
+		case KindRoot, KindRead, KindModify:
+			e.OID = heap.OID(args[a])
+			a++
+		case KindWrite:
+			e.OID = heap.OID(args[a])
+			e.Field = int(args[a+1])
+			e.Target = heap.OID(args[a+2])
+			a += 3
+		}
+		if err := sink.Emit(e); err != nil {
+			return err
+		}
+		if hook != nil && int64(n)+1 == at {
+			hook()
+			hook = nil
+		}
+	}
+	return nil
+}

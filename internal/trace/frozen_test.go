@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"odbgc/internal/heap"
+)
+
+func TestFrozenReplayMatchesBuffer(t *testing.T) {
+	b := benchBuffer(t, 500)
+	f, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != b.Len() {
+		t.Fatalf("Len = %d, want %d", f.Len(), b.Len())
+	}
+	var packed, frozen collectSink
+	if err := b.Replay(&packed); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Replay(&frozen); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(frozen.events, packed.events) {
+		t.Fatal("frozen replay diverged from packed replay")
+	}
+	// Replays are repeatable.
+	var again collectSink
+	if err := f.Replay(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again.events, packed.events) {
+		t.Fatal("second frozen replay diverged")
+	}
+}
+
+func TestFrozenReplayHookPosition(t *testing.T) {
+	var b Buffer
+	events := bufferTestEvents()
+	for _, e := range events {
+		if err := b.Emit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, at := range []int64{0, 3, int64(len(events))} {
+		var seenAtHook int64 = -1
+		sink := &collectSink{}
+		err := f.ReplayHook(sink, at, func() { seenAtHook = int64(len(sink.events)) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seenAtHook != at {
+			t.Errorf("hook at %d fired after %d events", at, seenAtHook)
+		}
+	}
+	fired := false
+	if err := f.ReplayHook(&collectSink{}, -1, func() { fired = true }); err != nil || fired {
+		t.Fatalf("err=%v fired=%v", err, fired)
+	}
+}
+
+func TestFreezeRejectsWideOperands(t *testing.T) {
+	var b Buffer
+	if err := b.Emit(Event{Kind: KindRead, OID: heap.OID(1) << 40}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Freeze(); !errors.Is(err, ErrOperandRange) {
+		t.Fatalf("Freeze of >32-bit OID: err = %v, want ErrOperandRange", err)
+	}
+}
+
+func TestFreezeRejectsCorruptBuffer(t *testing.T) {
+	valid := appendEvent(nil, Event{Kind: KindWrite, OID: 7, Field: 1, Target: 9})
+	for _, data := range [][]byte{
+		{99},      // unknown opcode
+		valid[:2], // truncated operands
+		append(append([]byte{}, valid...), byte(KindCreate)), // truncated second event
+	} {
+		b := &Buffer{data: data}
+		if _, err := b.Freeze(); err == nil {
+			t.Errorf("Freeze(%v): want error", data)
+		}
+	}
+}
+
+func TestFrozenSizeBytes(t *testing.T) {
+	b := benchBuffer(t, 200)
+	f, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.SizeBytes(); got < f.Len() || got > f.Len()*(1+4*5) {
+		t.Fatalf("SizeBytes = %d implausible for %d events", got, f.Len())
+	}
+}
+
+// Frozen replay is the per-event fast path of every cached-trace
+// simulation; a replay step must not allocate.
+func TestFrozenReplayZeroAllocs(t *testing.T) {
+	b := benchBuffer(t, 256)
+	f, err := b.Freeze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink benchSink
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := f.Replay(&sink); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("frozen replay: %v allocs per full replay, want 0", allocs)
+	}
+}
+
+// BenchmarkFrozenReplay measures one replay step of the columnar form;
+// compare BenchmarkBufferReplay, which decodes the packed form per step.
+func BenchmarkFrozenReplay(b *testing.B) {
+	const events = 4096
+	f, err := benchBuffer(b, events).Freeze()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sink benchSink
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += events {
+		if err := f.Replay(&sink); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fuzzSeeds returns packed encodings that cover every opcode and the
+// conditional create layouts, the starting corpus for both fuzz targets.
+func fuzzSeeds() [][]byte {
+	var seeds [][]byte
+	for _, e := range bufferTestEvents() {
+		enc := appendEvent(nil, e)
+		seeds = append(seeds, enc, enc[:len(enc)/2])
+	}
+	var all []byte
+	for _, e := range bufferTestEvents() {
+		all = appendEvent(all, e)
+	}
+	seeds = append(seeds, all, []byte{}, []byte{0}, []byte{99, 1, 2}, []byte{byte(KindCreate), 0xFF})
+	return seeds
+}
+
+// FuzzDecodeEvent checks that the packed decoder never panics and never
+// over-consumes: corrupt and truncated buffers must return an error, and
+// any successfully decoded event must survive an encode/decode round
+// trip (byte-identical re-encoding is not required — uvarints are
+// accepted in non-minimal form — but the event must be).
+func FuzzDecodeEvent(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, n, err := decodeEvent(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("decodeEvent consumed %d of %d bytes", n, len(data))
+		}
+		enc := appendEvent(nil, e)
+		e2, n2, err := decodeEvent(enc)
+		if err != nil {
+			t.Fatalf("re-decode of %+v: %v", e, err)
+		}
+		if n2 != len(enc) {
+			t.Fatalf("re-decode consumed %d of %d bytes", n2, len(enc))
+		}
+		if !reflect.DeepEqual(e2, e) {
+			t.Fatalf("round trip diverged: %+v -> %+v", e, e2)
+		}
+	})
+}
+
+// FuzzFreeze checks that freezing an arbitrary byte buffer never panics
+// — corrupt streams must error — and that when both succeed, frozen
+// replay delivers exactly the events packed replay does.
+func FuzzFreeze(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := &Buffer{data: data}
+		fz, err := b.Freeze()
+		if err != nil {
+			return
+		}
+		var packed, frozen collectSink
+		if err := b.Replay(&packed); err != nil {
+			t.Fatalf("packed replay failed after successful freeze: %v", err)
+		}
+		if err := fz.Replay(&frozen); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(frozen.events, packed.events) {
+			t.Fatalf("frozen replay diverged:\n packed %+v\n frozen %+v", packed.events, frozen.events)
+		}
+	})
+}

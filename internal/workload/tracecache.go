@@ -1,7 +1,7 @@
 package workload
 
 import (
-	"container/list"
+	"errors"
 	"sync"
 
 	"odbgc/internal/trace"
@@ -10,14 +10,20 @@ import (
 // The paper's pairing discipline replays the same workload seed under
 // every selection policy (Section 4), so a naive suite regenerates each
 // seed's identical event stream once per policy — up to six times. A
-// RecordedTrace captures one seed's stream in trace.Buffer's packed
-// encoding; a TraceCache shares recorded traces across every simulation
-// of a suite under a bounded memory budget.
+// RecordedTrace captures one seed's stream once; a TraceCache shares
+// recorded traces across every simulation of a suite under a bounded
+// memory budget.
 
 // RecordedTrace is one workload configuration's complete event stream,
 // generated once and replayable into any number of simulators. Replays
 // are bit-identical to running the generator live: same events, same
 // order, same build-phase boundary.
+//
+// The stream is held twice: Buffer is the packed opcode+uvarint encoding
+// (compact, archival — what the file codec writes), and Frozen is its
+// decode-once columnar form. Record freezes the buffer a single time;
+// every Replay then reads the frozen columns, so no varint decoding
+// happens per (seed, policy) pair.
 type RecordedTrace struct {
 	// Config is the generating configuration (including the seed).
 	Config Config
@@ -25,6 +31,10 @@ type RecordedTrace struct {
 	Stats Stats
 	// Buffer holds the packed events.
 	Buffer *trace.Buffer
+	// Frozen is the decode-once columnar form of Buffer, nil only for
+	// traces whose operands exceed its 32-bit columns (replay then falls
+	// back to decoding the packed form).
+	Frozen *trace.Frozen
 	// BuildEvents is the number of events emitted before the generator's
 	// build-complete hook fired (the build/churn boundary), or -1 if the
 	// generator never fired it. Warm-start replays reset measurement
@@ -33,7 +43,7 @@ type RecordedTrace struct {
 }
 
 // Record generates cfg's full event stream into a packed in-memory
-// buffer.
+// buffer and freezes it into columnar form.
 func Record(cfg Config) (*RecordedTrace, error) {
 	g, err := New(cfg)
 	if err != nil {
@@ -47,6 +57,15 @@ func Record(cfg Config) (*RecordedTrace, error) {
 	}
 	rt.Stats = st
 	rt.Buffer.Compact()
+	frozen, err := rt.Buffer.Freeze()
+	switch {
+	case err == nil:
+		rt.Frozen = frozen
+	case errors.Is(err, trace.ErrOperandRange):
+		// Keep the packed form only; Replay decodes per event.
+	default:
+		return nil, err
+	}
 	return rt, nil
 }
 
@@ -55,14 +74,27 @@ func Record(cfg Config) (*RecordedTrace, error) {
 // have invoked its build-complete hook — so warm-start simulations reset
 // their measurement window at the identical event.
 func (rt *RecordedTrace) Replay(sink trace.Sink, buildDone func()) error {
+	at := int64(-1)
 	if buildDone != nil && rt.BuildEvents >= 0 {
-		return rt.Buffer.ReplayHook(sink, rt.BuildEvents, buildDone)
+		at = rt.BuildEvents
+	} else {
+		buildDone = nil
 	}
-	return rt.Buffer.Replay(sink)
+	if rt.Frozen != nil {
+		return rt.Frozen.ReplayHook(sink, at, buildDone)
+	}
+	return rt.Buffer.ReplayHook(sink, at, buildDone)
 }
 
-// SizeBytes is the trace's memory footprint for cache accounting.
-func (rt *RecordedTrace) SizeBytes() int64 { return rt.Buffer.SizeBytes() }
+// SizeBytes is the trace's memory footprint for cache accounting: the
+// packed encoding plus the frozen columns.
+func (rt *RecordedTrace) SizeBytes() int64 {
+	n := rt.Buffer.SizeBytes()
+	if rt.Frozen != nil {
+		n += rt.Frozen.SizeBytes()
+	}
+	return n
+}
 
 // DefaultTraceCacheBytes is the suite harness's default cache budget. It
 // comfortably holds the base experiments' ten seed traces while forcing
@@ -85,31 +117,52 @@ type CacheStats struct {
 // single generation instead of duplicating it. Memory is bounded by a
 // byte budget with least-recently-used eviction; an evicted trace is
 // simply regenerated if requested again.
+//
+// The LRU list is the same intrusive index-linked structure as the page
+// buffer's frame arena: nodes live in one slice chained by int32
+// indices, with freed slots recycled through a free list.
 type TraceCache struct {
-	mu      sync.Mutex
-	budget  int64
-	used    int64
-	entries map[Config]*cacheEntry
-	lru     *list.List // of *cacheEntry, front = most recent
-	stats   CacheStats
+	mu         sync.Mutex
+	budget     int64
+	used       int64
+	entries    map[Config]int32 // -> index into nodes
+	nodes      []cacheNode
+	head, tail int32 // LRU order: head = most recent
+	free       int32 // free-slot chain (through cacheNode.next)
+	stats      CacheStats
 }
 
-type cacheEntry struct {
-	key   Config
-	ready chan struct{} // closed once rt/err are set
+// nilNode terminates node chains.
+const nilNode = int32(-1)
+
+// cacheNode is one slot of the cache's intrusive LRU list. res carries
+// the generation result: waiters capture it under the lock, so a hit
+// that caught the node just before an eviction still reads the right
+// trace even if the slot is later recycled for another configuration.
+type cacheNode struct {
+	key        Config
+	prev, next int32
+	res        *genResult
+	size       int64 // 0 until generation completes
+}
+
+// genResult is one generation's outcome; ready is closed once rt and err
+// are set.
+type genResult struct {
+	ready chan struct{}
 	rt    *RecordedTrace
 	err   error
-	size  int64 // 0 until generation completes
-	elem  *list.Element
 }
 
-// NewTraceCache returns a cache bounded to budget bytes of packed trace
-// data; budget <= 0 disables eviction (unbounded).
+// NewTraceCache returns a cache bounded to budget bytes of recorded
+// trace data; budget <= 0 disables eviction (unbounded).
 func NewTraceCache(budget int64) *TraceCache {
 	return &TraceCache{
 		budget:  budget,
-		entries: make(map[Config]*cacheEntry),
-		lru:     list.New(),
+		entries: make(map[Config]int32),
+		head:    nilNode,
+		tail:    nilNode,
+		free:    nilNode,
 	}
 }
 
@@ -118,61 +171,118 @@ func NewTraceCache(budget int64) *TraceCache {
 // eviction only affects future Gets.
 func (c *TraceCache) Get(cfg Config) (*RecordedTrace, error) {
 	c.mu.Lock()
-	if e, ok := c.entries[cfg]; ok {
+	if i, ok := c.entries[cfg]; ok {
+		res := c.nodes[i].res
 		c.stats.Hits++
-		c.lru.MoveToFront(e.elem)
+		c.moveToFront(i)
 		c.mu.Unlock()
-		<-e.ready
-		return e.rt, e.err
+		<-res.ready
+		return res.rt, res.err
 	}
-	e := &cacheEntry{key: cfg, ready: make(chan struct{})}
-	e.elem = c.lru.PushFront(e)
-	c.entries[cfg] = e
+	res := &genResult{ready: make(chan struct{})}
+	i := c.allocNode(cfg, res)
+	c.entries[cfg] = i
 	c.stats.Misses++
 	c.mu.Unlock()
 
 	rt, err := Record(cfg)
-	e.rt, e.err = rt, err
+	res.rt, res.err = rt, err
 
+	// Node i is still ours: in-flight nodes (size == 0) are never evicted,
+	// and only this goroutine completes or removes them, so the index
+	// could not have been recycled while the lock was released.
 	c.mu.Lock()
 	if err != nil {
 		// Do not cache failures; a later Get retries.
-		c.removeLocked(e)
+		c.removeLocked(i)
 	} else {
-		e.size = rt.SizeBytes()
-		c.used += e.size
+		size := rt.SizeBytes()
+		c.nodes[i].size = size
+		c.used += size
 		if c.used > c.stats.PeakBytes {
 			c.stats.PeakBytes = c.used
 		}
-		c.evictLocked(e)
+		c.evictLocked(i)
 	}
 	c.mu.Unlock()
-	close(e.ready)
+	close(res.ready)
 	return rt, err
+}
+
+// allocNode takes a slot from the free chain (or extends the arena),
+// fills it, and links it at the front of the LRU list.
+func (c *TraceCache) allocNode(key Config, res *genResult) int32 {
+	i := c.free
+	if i != nilNode {
+		c.free = c.nodes[i].next
+		c.nodes[i] = cacheNode{key: key, prev: nilNode, next: nilNode, res: res}
+	} else {
+		i = int32(len(c.nodes))
+		c.nodes = append(c.nodes, cacheNode{key: key, prev: nilNode, next: nilNode, res: res})
+	}
+	c.pushFront(i)
+	return i
+}
+
+func (c *TraceCache) pushFront(i int32) {
+	n := &c.nodes[i]
+	n.prev, n.next = nilNode, c.head
+	if c.head != nilNode {
+		c.nodes[c.head].prev = i
+	} else {
+		c.tail = i
+	}
+	c.head = i
+}
+
+func (c *TraceCache) unlink(i int32) {
+	n := &c.nodes[i]
+	if n.prev != nilNode {
+		c.nodes[n.prev].next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nilNode {
+		c.nodes[n.next].prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nilNode, nilNode
+}
+
+func (c *TraceCache) moveToFront(i int32) {
+	if c.head == i {
+		return
+	}
+	c.unlink(i)
+	c.pushFront(i)
 }
 
 // evictLocked drops least-recently-used completed traces until the
 // budget is met, never evicting keep (the entry just inserted) or
-// entries still generating.
-func (c *TraceCache) evictLocked(keep *cacheEntry) {
+// entries still generating (size == 0).
+func (c *TraceCache) evictLocked(keep int32) {
 	if c.budget <= 0 {
 		return
 	}
-	for el := c.lru.Back(); el != nil && c.used > c.budget; {
-		e := el.Value.(*cacheEntry)
-		el = el.Prev()
-		if e == keep || e.size == 0 {
-			continue
+	for i := c.tail; i != nilNode && c.used > c.budget; {
+		prev := c.nodes[i].prev
+		if i != keep && c.nodes[i].size != 0 {
+			c.removeLocked(i)
+			c.stats.Evictions++
 		}
-		c.removeLocked(e)
-		c.stats.Evictions++
+		i = prev
 	}
 }
 
-func (c *TraceCache) removeLocked(e *cacheEntry) {
-	delete(c.entries, e.key)
-	c.lru.Remove(e.elem)
-	c.used -= e.size
+// removeLocked unlinks node i, drops its map entry and budget charge,
+// and recycles the slot (clearing its result and key references).
+func (c *TraceCache) removeLocked(i int32) {
+	delete(c.entries, c.nodes[i].key)
+	c.used -= c.nodes[i].size
+	c.unlink(i)
+	c.nodes[i] = cacheNode{prev: nilNode, next: c.free}
+	c.free = i
 }
 
 // Stats returns a snapshot of the cache counters.
