@@ -18,3 +18,10 @@ go test -race -run 'Suite|Scheduler|TraceCache|RunRecorded' ./internal/experimen
 # never panic, on truncated or corrupted buffers.
 go test -run '^$' -fuzz '^FuzzDecodeEvent$' -fuzztime 5s ./internal/trace
 go test -run '^$' -fuzz '^FuzzFreeze$' -fuzztime 5s ./internal/trace
+# Audited-simulator fuzz smoke: random valid event streams through a
+# simulator running the full invariant catalog after every collection.
+go test -run '^$' -fuzz '^FuzzAuditedSim$' -fuzztime 5s ./internal/check
+# Differential self-check: every policy audited and re-run through the
+# slow reference paths (packed/frozen, cached/fresh, serial/parallel,
+# eager/buffered barrier); any divergence or invariant violation fails.
+go run ./cmd/experiments -selfcheck -short -q

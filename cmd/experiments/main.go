@@ -7,61 +7,100 @@
 //	experiments [-seeds N] [-workers N] [-outdir DIR]
 //	            [-tables] [-table5] [-fig45] [-fig6]
 //	            [-tracecache MB] [-cpuprofile FILE] [-memprofile FILE]
+//	experiments -selfcheck [-short]
 //
 // With no selection flags, everything runs. All selected families drain
 // through one scheduler worker pool sharing one workload-trace cache, so
 // a trace is generated once no matter how many policies replay it.
 // Tables go to stdout; figure CSVs go to outdir (default "results").
+//
+// -selfcheck runs the differential validation harness instead of the
+// suite: small audited runs of every policy, replayed through the slow
+// reference paths (packed vs frozen trace, cached vs fresh, serial vs
+// parallel, eager vs buffered barrier), failing loudly on the first
+// divergence or invariant violation.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 
+	"odbgc/internal/check"
 	"odbgc/internal/experiments"
 	"odbgc/internal/stats"
 )
 
 func main() {
-	var (
-		seeds      = flag.Int("seeds", 10, "seeded runs per configuration (the paper uses 10)")
-		workers    = flag.Int("workers", 0, "scheduler worker goroutines (0 = GOMAXPROCS)")
-		cacheMB    = flag.Int64("tracecache", 256, "workload trace cache budget in MB (0 disables the cache)")
-		outdir     = flag.String("outdir", "results", "directory for figure CSV files")
-		tables     = flag.Bool("tables", false, "run Tables 2-4 (base configuration)")
-		table5     = flag.Bool("table5", false, "run Table 5 (connectivity sweep)")
-		fig45      = flag.Bool("fig45", false, "run Figures 4 and 5 (time-varying behavior)")
-		fig6       = flag.Bool("fig6", false, "run Figure 6 (scalability sweep)")
-		sens       = flag.Bool("sensitivity", false, "run trigger and partition-size sensitivity sweeps (extension)")
-		abl        = flag.Bool("ablations", false, "run extension ablations at full scale (extension)")
-		quiet      = flag.Bool("q", false, "suppress progress output")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
-	)
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
 
-	all := !*tables && !*table5 && !*fig45 && !*fig6 && !*sens && !*abl
+// run is the whole command, separated from main so tests can drive it
+// in-process with arbitrary arguments and capture its output.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		seeds      = fs.Int("seeds", 10, "seeded runs per configuration (the paper uses 10)")
+		workers    = fs.Int("workers", 0, "scheduler worker goroutines (0 = GOMAXPROCS)")
+		cacheMB    = fs.Int64("tracecache", 256, "workload trace cache budget in MB (0 disables the cache)")
+		outdir     = fs.String("outdir", "results", "directory for figure CSV files")
+		tables     = fs.Bool("tables", false, "run Tables 2-4 (base configuration)")
+		table5     = fs.Bool("table5", false, "run Table 5 (connectivity sweep)")
+		fig45      = fs.Bool("fig45", false, "run Figures 4 and 5 (time-varying behavior)")
+		fig6       = fs.Bool("fig6", false, "run Figure 6 (scalability sweep)")
+		sens       = fs.Bool("sensitivity", false, "run trigger and partition-size sensitivity sweeps (extension)")
+		abl        = fs.Bool("ablations", false, "run extension ablations at full scale (extension)")
+		selfcheck  = fs.Bool("selfcheck", false, "run the differential self-check harness instead of the suite")
+		short      = fs.Bool("short", false, "with -selfcheck: smaller workload and fewer seeds")
+		quiet      = fs.Bool("q", false, "suppress progress output")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *seeds < 1:
+		return fmt.Errorf("-seeds %d: need at least 1 seeded run", *seeds)
+	case *workers < 0:
+		return fmt.Errorf("-workers %d: worker count cannot be negative", *workers)
+	}
+
 	progress := experiments.Progress(func(format string, args ...any) {
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
+			fmt.Fprintf(stderr, format+"\n", args...)
 		}
 	})
 
+	if *selfcheck {
+		if err := check.SelfCheck(check.Options{Short: *short, Logf: progress}); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "selfcheck: all differential and invariant checks passed")
+		return nil
+	}
+
+	all := !*tables && !*table5 && !*fig45 && !*fig6 && !*sens && !*abl
+
 	if err := os.MkdirAll(*outdir, 0o755); err != nil {
-		fatal(err)
+		return err
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
+			return err
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -84,62 +123,63 @@ func main() {
 
 	res, err := experiments.RunSuite(opts, progress)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if !*quiet && opts.TraceCacheBytes > 0 {
 		c := res.Cache
-		fmt.Fprintf(os.Stderr, "trace cache: %d generated, %d replayed from cache, %d evicted, peak %d MB\n",
+		fmt.Fprintf(stderr, "trace cache: %d generated, %d replayed from cache, %d evicted, peak %d MB\n",
 			c.Misses, c.Hits, c.Evictions, c.PeakBytes>>20)
 	}
 
 	if res.Base != nil {
-		fmt.Println(res.Base.Table2())
-		fmt.Println(res.Base.Table3())
-		fmt.Println(res.Base.Table4())
+		fmt.Fprintln(stdout, res.Base.Table2())
+		fmt.Fprintln(stdout, res.Base.Table3())
+		fmt.Fprintln(stdout, res.Base.Table4())
 	}
 	if res.Table5 != nil {
-		fmt.Println(res.Table5.Table())
+		fmt.Fprintln(stdout, res.Table5.Table())
 	}
 	if res.Figures != nil {
 		figs := res.Figures
 		if err := writeCSV(filepath.Join(*outdir, "figure4_unreclaimed_garbage.csv"), figs.Garbage); err != nil {
-			fatal(err)
+			return err
 		}
 		if err := writeCSV(filepath.Join(*outdir, "figure5_database_size.csv"), figs.DBSize); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("Figure 4 series -> %s (%d samples per policy)\n",
+		fmt.Fprintf(stdout, "Figure 4 series -> %s (%d samples per policy)\n",
 			filepath.Join(*outdir, "figure4_unreclaimed_garbage.csv"), figs.Garbage.Len())
-		fmt.Printf("Figure 5 series -> %s (%d samples per policy)\n\n",
+		fmt.Fprintf(stdout, "Figure 5 series -> %s (%d samples per policy)\n\n",
 			filepath.Join(*outdir, "figure5_database_size.csv"), figs.DBSize.Len())
-		fmt.Println(endpointTable(figs))
+		fmt.Fprintln(stdout, endpointTable(figs))
 	}
 	if res.Figure6 != nil {
-		fmt.Println(res.Figure6.Table())
+		fmt.Fprintln(stdout, res.Figure6.Table())
 		if err := writeCSV(filepath.Join(*outdir, "figure6_storage_required.csv"), res.Figure6.Series()); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("Figure 6 series -> %s\n", filepath.Join(*outdir, "figure6_storage_required.csv"))
+		fmt.Fprintf(stdout, "Figure 6 series -> %s\n", filepath.Join(*outdir, "figure6_storage_required.csv"))
 	}
 	if res.Sensitivity != nil {
-		fmt.Println(res.Sensitivity.TriggerTable())
-		fmt.Println(res.Sensitivity.PartitionTable())
+		fmt.Fprintln(stdout, res.Sensitivity.TriggerTable())
+		fmt.Fprintln(stdout, res.Sensitivity.PartitionTable())
 	}
 	if res.Ablations != nil {
-		fmt.Println(res.Ablations)
+		fmt.Fprintln(stdout, res.Ablations)
 	}
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			fatal(err)
+			return err
 		}
 	}
+	return nil
 }
 
 // endpointTable summarizes the figure series' final samples so the
@@ -166,9 +206,4 @@ func writeCSV(path string, s *stats.Series) error {
 		return err
 	}
 	return f.Close()
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFlagValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"seeds", []string{"-seeds", "-1"}, "-seeds"},
+		{"zero seeds", []string{"-seeds", "0"}, "-seeds"},
+		{"workers", []string{"-workers", "-2"}, "-workers"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			err := run(tc.args, &stdout, &stderr)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error naming %s", tc.args, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) error %q does not name %s", tc.args, err, tc.want)
+			}
+			if strings.Contains(err.Error(), "\n") {
+				t.Fatalf("run(%v) error %q spans multiple lines", tc.args, err)
+			}
+		})
+	}
+}
+
+// TestSelfCheckShort exercises the full differential harness at its small
+// size: every policy audited, replayed through the reference paths, and
+// compared serial vs parallel. It is the command-level face of
+// check.SelfCheck, so a pass here is the -selfcheck exit-0 guarantee.
+func TestSelfCheckShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("selfcheck runs dozens of small simulations")
+	}
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-selfcheck", "-short", "-q"}, &stdout, &stderr); err != nil {
+		t.Fatalf("selfcheck: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "all differential and invariant checks passed") {
+		t.Errorf("selfcheck success line missing:\n%s", stdout.String())
+	}
+}

@@ -4,18 +4,22 @@
 //
 //	gcsim [-policy NAME] [-seeds N] [-live BYTES] [-alloc BYTES]
 //	      [-partition-pages N] [-buffer-pages N] [-trigger N]
-//	      [-dense F] [-trees N] [-series FILE]
+//	      [-dense F] [-trees N] [-series FILE] [-audit]
 //
 // With -seeds > 1 it reports mean ± stddev over seeded runs; with -series
-// it additionally writes the single-run time series as CSV.
+// it additionally writes the single-run time series as CSV. -audit runs
+// the full cross-structure invariant catalog (internal/check) after every
+// collection — orders of magnitude slower, for validation runs.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"odbgc/internal/check"
 	"odbgc/internal/core"
 	"odbgc/internal/sim"
 	"odbgc/internal/stats"
@@ -23,21 +27,51 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "gcsim:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole command, separated from main so tests can drive it
+// in-process with arbitrary arguments and capture its output.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("gcsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		policy    = flag.String("policy", core.NameUpdatedPointer, `selection policy ("all" compares the paper's six): `+strings.Join(core.Names(), ", "))
-		seeds     = flag.Int("seeds", 1, "number of seeded runs")
-		live      = flag.Int64("live", 0, "live-data setpoint in bytes (0 = paper default)")
-		alloc     = flag.Int64("alloc", 0, "total allocation target in bytes (0 = paper default)")
-		partPages = flag.Int("partition-pages", 0, "8 KB pages per partition (0 = paper default 48)")
-		bufPages  = flag.Int("buffer-pages", 0, "buffer pages (0 = one partition)")
-		trigger   = flag.Int64("trigger", 0, "pointer overwrites per collection (0 = default 280)")
-		dense     = flag.Float64("dense", -1, "dense edge fraction (connectivity-1); negative = default")
-		trees     = flag.Int("trees", 0, "mean nodes per tree (0 = default)")
-		series    = flag.String("series", "", "write single-run time series CSV to this file")
-		inspect   = flag.Bool("inspect", false, "print per-partition occupancy at end of a single run")
-		warm      = flag.Bool("warm", false, "warm start: exclude the build phase from measurement")
+		policy    = fs.String("policy", core.NameUpdatedPointer, `selection policy ("all" compares the paper's six): `+strings.Join(core.Names(), ", "))
+		seeds     = fs.Int("seeds", 1, "number of seeded runs")
+		live      = fs.Int64("live", 0, "live-data setpoint in bytes (0 = paper default)")
+		alloc     = fs.Int64("alloc", 0, "total allocation target in bytes (0 = paper default)")
+		partPages = fs.Int("partition-pages", 0, "8 KB pages per partition (0 = paper default 48)")
+		bufPages  = fs.Int("buffer-pages", 0, "buffer pages (0 = one partition)")
+		trigger   = fs.Int64("trigger", 0, "pointer overwrites per collection (0 = default 280)")
+		dense     = fs.Float64("dense", -1, "dense edge fraction (connectivity-1); negative = default")
+		trees     = fs.Int("trees", 0, "mean nodes per tree (0 = default)")
+		series    = fs.String("series", "", "write single-run time series CSV to this file")
+		inspect   = fs.Bool("inspect", false, "print per-partition occupancy at end of a single run")
+		warm      = fs.Bool("warm", false, "warm start: exclude the build phase from measurement")
+		audit     = fs.Bool("audit", false, "run the full invariant audit after every collection (slow)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *seeds < 1:
+		return fmt.Errorf("-seeds %d: need at least 1 seeded run", *seeds)
+	case *partPages < 0:
+		return fmt.Errorf("-partition-pages %d: page count cannot be negative", *partPages)
+	case *bufPages < 0:
+		return fmt.Errorf("-buffer-pages %d: page count cannot be negative", *bufPages)
+	case *trigger < 0:
+		return fmt.Errorf("-trigger %d: overwrite count cannot be negative", *trigger)
+	case *live < 0:
+		return fmt.Errorf("-live %d: byte count cannot be negative", *live)
+	case *alloc < 0:
+		return fmt.Errorf("-alloc %d: byte count cannot be negative", *alloc)
+	case *trees < 0:
+		return fmt.Errorf("-trees %d: node count cannot be negative", *trees)
+	}
 
 	wl := workload.DefaultConfig()
 	if *live > 0 {
@@ -54,8 +88,7 @@ func main() {
 	}
 
 	if *policy == "all" {
-		compareAll(wl, *seeds, *partPages, *bufPages, *trigger)
-		return
+		return compareAll(stdout, wl, *seeds, *partPages, *bufPages, *trigger, *audit)
 	}
 
 	cfg := sim.DefaultConfig(*policy)
@@ -72,44 +105,53 @@ func main() {
 		cfg.SampleEvery = 10_000
 	}
 	cfg.WarmStart = *warm
+	if *audit {
+		cfg.Audit = check.Audited(1, 0)
+	}
 
 	if *seeds <= 1 {
 		s, err := sim.New(cfg)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		g, err := workload.New(wl)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		wlStats, err := g.Run(s)
 		if err != nil {
-			fatal(err)
+			return err
+		}
+		if *audit {
+			if err := s.Audit(); err != nil {
+				return err
+			}
 		}
 		if *inspect {
-			printPartitions(s.InspectPartitions())
+			printPartitions(stdout, s.InspectPartitions())
 		}
 		res := s.Finish()
-		printResult(res, wlStats)
+		printResult(stdout, res, wlStats)
 		if *series != "" {
 			f, err := os.Create(*series)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			if err := res.Series.WriteCSV(f); err != nil {
-				fatal(err)
+				f.Close()
+				return err
 			}
 			if err := f.Close(); err != nil {
-				fatal(err)
+				return err
 			}
-			fmt.Println("series ->", *series)
+			fmt.Fprintln(stdout, "series ->", *series)
 		}
-		return
+		return nil
 	}
 
 	results, err := sim.RunSeeds(cfg, wl, *seeds)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	agg := sim.Aggregates(results)
 	t := stats.NewTable(fmt.Sprintf("%s over %d seeds", agg.Policy, agg.N), "Metric", "Mean", "Std Dev")
@@ -122,12 +164,13 @@ func main() {
 	t.AddRow("Reclaimed (KB)", f0(agg.ReclaimedKB.Mean), f0(agg.ReclaimedKB.StdDev))
 	t.AddRow("Fraction reclaimed (%)", f1(agg.FractionReclaimed.Mean), f1(agg.FractionReclaimed.StdDev))
 	t.AddRow("Efficiency (KB/IO)", f2(agg.EfficiencyKBPerIO.Mean), f2(agg.EfficiencyKBPerIO.StdDev))
-	fmt.Println(t)
+	fmt.Fprintln(stdout, t)
+	return nil
 }
 
 // compareAll runs every paper policy on the identical workload and
 // renders one comparison row per policy.
-func compareAll(wl workload.Config, seeds, partPages, bufPages int, trigger int64) {
+func compareAll(stdout io.Writer, wl workload.Config, seeds, partPages, bufPages int, trigger int64, audit bool) error {
 	if seeds < 1 {
 		seeds = 1
 	}
@@ -144,9 +187,12 @@ func compareAll(wl workload.Config, seeds, partPages, bufPages int, trigger int6
 		if trigger > 0 {
 			cfg.TriggerOverwrites = trigger
 		}
+		if audit {
+			cfg.Audit = check.Audited(1, 0)
+		}
 		results, err := sim.RunSeeds(cfg, wl, seeds)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		agg := sim.Aggregates(results)
 		t.AddRow(policy,
@@ -156,10 +202,11 @@ func compareAll(wl workload.Config, seeds, partPages, bufPages int, trigger int6
 			f1(agg.FractionReclaimed.Mean),
 			f2(agg.EfficiencyKBPerIO.Mean))
 	}
-	fmt.Println(t)
+	fmt.Fprintln(stdout, t)
+	return nil
 }
 
-func printPartitions(parts []sim.PartitionInfo) {
+func printPartitions(stdout io.Writer, parts []sim.PartitionInfo) {
 	t := stats.NewTable("Final partition occupancy",
 		"Partition", "Used KB", "Live KB", "Garbage KB", "Objects", "Remset", "")
 	for _, p := range parts {
@@ -175,10 +222,10 @@ func printPartitions(parts []sim.PartitionInfo) {
 			fmt.Sprint(p.RemsetEntries),
 			mark)
 	}
-	fmt.Println(t)
+	fmt.Fprintln(stdout, t)
 }
 
-func printResult(res sim.Result, wlStats workload.Stats) {
+func printResult(stdout io.Writer, res sim.Result, wlStats workload.Stats) {
 	t := stats.NewTable("Simulation result: "+res.Policy, "Metric", "Value")
 	t.AddRow("Application events", fmt.Sprint(res.Events))
 	t.AddRow("Edge read/write ratio", f1(wlStats.EdgeReadWriteRatio))
@@ -194,14 +241,9 @@ func printResult(res sim.Result, wlStats workload.Stats) {
 	t.AddRow("Efficiency (KB/IO)", f2(res.EfficiencyKBPerIO()))
 	_, _, disk := sim.DefaultDiskModel().EstimateResult(res)
 	t.AddRow("Est. disk time (1993 disk)", disk.Round(10*1e6).String())
-	fmt.Println(t)
+	fmt.Fprintln(stdout, t)
 }
 
 func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
 func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
 func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gcsim:", err)
-	os.Exit(1)
-}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tiny is a workload small enough that a full single run finishes in
+// well under a second while still triggering several collections. The
+// partition must hold the default workload's 64 KB large objects, so
+// 8 pages (8 KB each) is the floor.
+var tiny = []string{
+	"-live", "60000", "-alloc", "180000", "-trees", "40",
+	"-partition-pages", "8", "-trigger", "40",
+}
+
+func TestFlagValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring the one-line error must contain
+	}{
+		{"seeds", []string{"-seeds", "0"}, "-seeds"},
+		{"negative seeds", []string{"-seeds", "-3"}, "-seeds"},
+		{"partition pages", []string{"-partition-pages", "-1"}, "-partition-pages"},
+		{"buffer pages", []string{"-buffer-pages", "-2"}, "-buffer-pages"},
+		{"trigger", []string{"-trigger", "-5"}, "-trigger"},
+		{"live", []string{"-live", "-1"}, "-live"},
+		{"alloc", []string{"-alloc", "-1"}, "-alloc"},
+		{"trees", []string{"-trees", "-1"}, "-trees"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			err := run(tc.args, &stdout, &stderr)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error naming %s", tc.args, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) error %q does not name %s", tc.args, err, tc.want)
+			}
+			if strings.Contains(err.Error(), "\n") {
+				t.Fatalf("run(%v) error %q spans multiple lines", tc.args, err)
+			}
+		})
+	}
+}
+
+func TestUnknownPolicyRejected(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-policy", "NoSuchPolicy"}, &stdout, &stderr); err == nil {
+		t.Fatal("run with unknown policy succeeded")
+	}
+}
+
+func TestSingleRunPrintsResult(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(append([]string{"-inspect"}, tiny...), &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"Simulation result", "Collections", "Final partition occupancy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "series.csv")
+	var stdout, stderr bytes.Buffer
+	if err := run(append([]string{"-series", path}, tiny...), &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("series file: %v", err)
+	}
+	if !strings.HasPrefix(string(data), "events") {
+		t.Errorf("series CSV header = %q, want it to start with \"events\"", firstLine(data))
+	}
+	if !strings.Contains(stdout.String(), "series ->") {
+		t.Errorf("stdout missing series pointer line:\n%s", stdout.String())
+	}
+}
+
+func TestAuditedSingleRun(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(append([]string{"-audit"}, tiny...), &stdout, &stderr); err != nil {
+		t.Fatalf("audited run: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "Simulation result") {
+		t.Errorf("audited run produced no result table:\n%s", stdout.String())
+	}
+}
+
+func TestMultiSeedAggregate(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(append([]string{"-seeds", "2"}, tiny...), &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "over 2 seeds") {
+		t.Errorf("output missing aggregate header:\n%s", stdout.String())
+	}
+}
+
+func TestCompareAllPolicies(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(append([]string{"-policy", "all"}, tiny...), &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "Policy comparison") {
+		t.Errorf("output missing comparison table:\n%s", stdout.String())
+	}
+}
+
+func firstLine(b []byte) string {
+	if i := bytes.IndexByte(b, '\n'); i >= 0 {
+		return string(b[:i])
+	}
+	return string(b)
+}

@@ -11,6 +11,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"odbgc/internal/trace"
@@ -18,18 +19,40 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole command, separated from main so tests can drive it
+// in-process with arbitrary arguments and capture its output.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		out    = flag.String("o", "", "output trace file (required)")
-		format = flag.String("format", "binary", "trace format: binary or jsonl")
-		seed   = flag.Int64("seed", 1, "workload seed")
-		live   = flag.Int64("live", 0, "live-data setpoint in bytes (0 = default)")
-		alloc  = flag.Int64("alloc", 0, "total allocation target in bytes (0 = default)")
-		dense  = flag.Float64("dense", -1, "dense edge fraction; negative = default")
-		trees  = flag.Int("trees", 0, "mean nodes per tree (0 = default)")
+		out    = fs.String("o", "", "output trace file (required)")
+		format = fs.String("format", "binary", "trace format: binary or jsonl")
+		seed   = fs.Int64("seed", 1, "workload seed")
+		live   = fs.Int64("live", 0, "live-data setpoint in bytes (0 = default)")
+		alloc  = fs.Int64("alloc", 0, "total allocation target in bytes (0 = default)")
+		dense  = fs.Float64("dense", -1, "dense edge fraction; negative = default")
+		trees  = fs.Int("trees", 0, "mean nodes per tree (0 = default)")
 	)
-	flag.Parse()
-	if *out == "" {
-		fatal(fmt.Errorf("-o is required"))
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *out == "":
+		return fmt.Errorf("-o is required")
+	case *format != "binary" && *format != "jsonl":
+		return fmt.Errorf("-format %q: unknown format (binary or jsonl)", *format)
+	case *live < 0:
+		return fmt.Errorf("-live %d: byte count cannot be negative", *live)
+	case *alloc < 0:
+		return fmt.Errorf("-alloc %d: byte count cannot be negative", *alloc)
+	case *trees < 0:
+		return fmt.Errorf("-trees %d: node count cannot be negative", *trees)
 	}
 
 	cfg := workload.DefaultConfig()
@@ -49,46 +72,40 @@ func main() {
 
 	g, err := workload.New(cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	f, err := os.Create(*out)
 	if err != nil {
-		fatal(err)
+		return err
 	}
+	defer f.Close()
 	bw := bufio.NewWriter(f)
 	var (
 		sink  trace.Sink
 		flush func() error
 	)
-	switch *format {
-	case "binary":
+	if *format == "binary" {
 		w := trace.NewWriter(bw)
 		sink, flush = w, w.Flush
-	case "jsonl":
+	} else {
 		w := trace.NewJSONLWriter(bw)
 		sink, flush = w, w.Flush
-	default:
-		fatal(fmt.Errorf("unknown format %q (binary or jsonl)", *format))
 	}
 	st, err := g.Run(sink)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if err := flush(); err != nil {
-		fatal(err)
+		return err
 	}
 	if err := bw.Flush(); err != nil {
-		fatal(err)
+		return err
 	}
 	if err := f.Close(); err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("%s: %d events (%d creates, %d reads, %d writes, %d modifies), %d deletions, %.1f MB allocated, r/w ratio %.1f\n",
+	fmt.Fprintf(stdout, "%s: %d events (%d creates, %d reads, %d writes, %d modifies), %d deletions, %.1f MB allocated, r/w ratio %.1f\n",
 		*out, st.Events, st.Creates, st.Reads, st.Writes, st.Modifies,
 		st.Deletions, float64(st.AllocatedBytes)/(1<<20), st.EdgeReadWriteRatio)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tracegen:", err)
-	os.Exit(1)
+	return nil
 }

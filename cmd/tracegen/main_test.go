@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFlagValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"missing output", nil, "-o"},
+		{"negative live", []string{"-o", "x.bin", "-live", "-1"}, "-live"},
+		{"negative alloc", []string{"-o", "x.bin", "-alloc", "-1"}, "-alloc"},
+		{"negative trees", []string{"-o", "x.bin", "-trees", "-1"}, "-trees"},
+		{"bad format", []string{"-o", "x.bin", "-format", "xml"}, "format"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			err := run(tc.args, &stdout, &stderr)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error naming %s", tc.args, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) error %q does not name %s", tc.args, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestGenerateAndInspect round-trips a tiny trace through tracegen's
+// writer in both formats, asserting the summary line renders.
+func TestGenerateAndInspect(t *testing.T) {
+	for _, format := range []string{"binary", "jsonl"} {
+		path := filepath.Join(t.TempDir(), "t."+format)
+		var stdout, stderr bytes.Buffer
+		args := []string{"-o", path, "-format", format,
+			"-live", "50000", "-alloc", "150000", "-trees", "30"}
+		if err := run(args, &stdout, &stderr); err != nil {
+			t.Fatalf("%s: run: %v", format, err)
+		}
+		if !strings.Contains(stdout.String(), "events") {
+			t.Errorf("%s: summary line missing:\n%s", format, stdout.String())
+		}
+	}
+}

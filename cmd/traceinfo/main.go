@@ -23,22 +23,35 @@ import (
 )
 
 func main() {
-	replay := flag.String("replay", "", "also replay the trace under this selection policy")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fatal(errors.New("usage: traceinfo [-replay POLICY] trace.bin"))
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "traceinfo:", err)
+		os.Exit(1)
 	}
-	path := flag.Arg(0)
+}
+
+// run is the whole command, separated from main so tests can drive it
+// in-process with arbitrary arguments and capture its output.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("traceinfo", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	replay := fs.String("replay", "", "also replay the trace under this selection policy")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return errors.New("usage: traceinfo [-replay POLICY] trace.bin")
+	}
+	path := fs.Arg(0)
 
 	f, err := os.Open(path)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer f.Close()
 
 	r, format, err := openTrace(f)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	var (
 		counts      = map[trace.Kind]int64{}
@@ -57,7 +70,7 @@ func main() {
 			break
 		}
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		counts[e.Kind]++
 		switch e.Kind {
@@ -99,22 +112,22 @@ func main() {
 	if w := counts[trace.KindWrite] + counts[trace.KindCreate]; w > 0 {
 		t.AddRow("Read/write ratio", fmt.Sprintf("%.1f", float64(counts[trace.KindRead])/float64(w)))
 	}
-	fmt.Println(t)
+	fmt.Fprintln(stdout, t)
 
 	if *replay != "" {
 		if _, err := f.Seek(0, io.SeekStart); err != nil {
-			fatal(err)
+			return err
 		}
 		r2, _, err := openTrace(f)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		s, err := sim.New(sim.DefaultConfig(*replay))
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := copyEvents(s, r2); err != nil {
-			fatal(err)
+			return err
 		}
 		res := s.Finish()
 		rt := stats.NewTable("Replay under "+res.Policy, "Metric", "Value")
@@ -123,8 +136,9 @@ func main() {
 		rt.AddRow("Reclaimed KB", fmt.Sprint(res.ReclaimedBytes/1024))
 		rt.AddRow("Fraction reclaimed %", fmt.Sprintf("%.1f", 100*res.FractionReclaimed()))
 		rt.AddRow("Max storage KB", fmt.Sprint(res.MaxOccupiedBytes/1024))
-		fmt.Println(rt)
+		fmt.Fprintln(stdout, rt)
 	}
+	return nil
 }
 
 // eventSource unifies the binary and JSONL readers.
@@ -161,9 +175,4 @@ func copyEvents(sink trace.Sink, src eventSource) error {
 			return err
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "traceinfo:", err)
-	os.Exit(1)
 }

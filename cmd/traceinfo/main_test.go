@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"odbgc/internal/core"
+	"odbgc/internal/trace"
+	"odbgc/internal/workload"
+)
+
+// writeTinyTrace generates a small binary trace for the tests to inspect.
+func writeTinyTrace(t *testing.T) string {
+	t.Helper()
+	cfg := workload.DefaultConfig()
+	cfg.TargetLiveBytes = 50_000
+	cfg.TotalAllocBytes = 150_000
+	cfg.MeanTreeNodes = 30
+	g, err := workload.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tiny.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := bufio.NewWriter(f)
+	w := trace.NewWriter(bw)
+	if _, err := g.Run(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestUsageErrorWithoutFile(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(nil, &stdout, &stderr); err == nil {
+		t.Fatal("run with no trace file succeeded")
+	} else if !strings.Contains(err.Error(), "usage:") {
+		t.Fatalf("error %q is not a usage line", err)
+	}
+}
+
+func TestInspectAndReplay(t *testing.T) {
+	path := writeTinyTrace(t)
+
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{path}, &stdout, &stderr); err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "Creates") {
+		t.Errorf("inspect output missing stats table:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	if err := run([]string{"-replay", core.NameUpdatedPointer, path}, &stdout, &stderr); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "Replay under") {
+		t.Errorf("replay output missing replay table:\n%s", stdout.String())
+	}
+}

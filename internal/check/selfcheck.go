@@ -1,0 +1,203 @@
+package check
+
+import (
+	"fmt"
+	"runtime"
+
+	"odbgc/internal/core"
+	"odbgc/internal/heap"
+	"odbgc/internal/sim"
+	"odbgc/internal/workload"
+)
+
+// Options configures SelfCheck.
+type Options struct {
+	// Short trims the run for CI smoke use: one seed instead of two and a
+	// sparser audit cadence. The catalog and every differential path still
+	// execute.
+	Short bool
+	// Seeds overrides the seed count; 0 picks the default (1 short, 2
+	// full).
+	Seeds int
+	// Logf receives one progress line per phase; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// SelfCheck replays a deliberately small configuration through every
+// policy with the full invariant catalog auditing each run, then drives
+// the same workload through independent slow and fast paths that must
+// agree bit-for-bit:
+//
+//   - audited vs unaudited (auditing must not perturb results);
+//   - frozen columnar replay vs packed varint replay;
+//   - recorded-trace replay vs a live generator run;
+//   - eager write barrier vs the buffered (SSB) barrier;
+//   - serial loop vs the parallel scheduler with a shared trace cache;
+//   - trigger parity across all policies (TriggerParity).
+//
+// The first divergence or invariant violation is reported with the
+// specific field or structure that came apart. A nil return means every
+// path agreed and every audit passed.
+func SelfCheck(opts Options) error {
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	seeds := opts.Seeds
+	if seeds <= 0 {
+		seeds = 2
+		if opts.Short {
+			seeds = 1
+		}
+	}
+	everyEvents := int64(1 << 12)
+	if opts.Short {
+		everyEvents = 1 << 14
+	}
+
+	wlBase := smallWorkload()
+	simBase := smallSim()
+	cache := workload.NewTraceCache(0)
+
+	// Phase 1: audited catalog under every policy, and audit neutrality.
+	logf("selfcheck: phase 1: invariant catalog, %d policies x %d seeds", len(core.Names()), seeds)
+	byPolicy := make(map[string][]sim.Result)
+	for i := 0; i < seeds; i++ {
+		wl := wlBase
+		wl.Seed += int64(i)
+		rt, err := cache.Get(wl)
+		if err != nil {
+			return fmt.Errorf("selfcheck: recording workload seed %d: %w", wl.Seed, err)
+		}
+		for _, policy := range core.Names() {
+			cfg := simBase
+			cfg.Policy = policy
+			cfg.Seed = simBase.Seed + 1000 + int64(i)
+			audited := cfg
+			audited.Audit = Audited(1, everyEvents)
+			resAudited, err := sim.RunRecorded(audited, rt)
+			if err != nil {
+				return fmt.Errorf("selfcheck: audited run (policy %s, seed %d): %w", policy, wl.Seed, err)
+			}
+			resPlain, err := sim.RunRecorded(cfg, rt)
+			if err != nil {
+				return fmt.Errorf("selfcheck: plain run (policy %s, seed %d): %w", policy, wl.Seed, err)
+			}
+			if err := DiffResults("audited run", "unaudited run", resAudited, resPlain); err != nil {
+				return fmt.Errorf("selfcheck: auditing perturbed policy %s, seed %d: %w", policy, wl.Seed, err)
+			}
+			byPolicy[policy] = append(byPolicy[policy], resPlain)
+		}
+	}
+	if err := TriggerParity(byPolicy); err != nil {
+		return fmt.Errorf("selfcheck: %w", err)
+	}
+
+	// Phase 2: differential replay paths under one representative policy.
+	policy := core.NameMutatedPartition
+	logf("selfcheck: phase 2: differential replay paths, policy %s", policy)
+	for i := 0; i < seeds; i++ {
+		wl := wlBase
+		wl.Seed += int64(i)
+		cfg := simBase
+		cfg.Policy = policy
+		cfg.Seed = simBase.Seed + 1000 + int64(i)
+		rt, err := cache.Get(wl)
+		if err != nil {
+			return fmt.Errorf("selfcheck: recording workload seed %d: %w", wl.Seed, err)
+		}
+		ref := byPolicy[policy][i]
+
+		// Frozen columnar replay vs decoding the packed buffer per event.
+		if rt.Frozen == nil {
+			return fmt.Errorf("selfcheck: workload seed %d did not freeze — packed-vs-frozen path untestable", wl.Seed)
+		}
+		packed := *rt
+		packed.Frozen = nil
+		resPacked, err := sim.RunRecorded(cfg, &packed)
+		if err != nil {
+			return fmt.Errorf("selfcheck: packed replay (seed %d): %w", wl.Seed, err)
+		}
+		if err := DiffResults("frozen replay", "packed replay", ref, resPacked); err != nil {
+			return fmt.Errorf("selfcheck: seed %d: %w", wl.Seed, err)
+		}
+
+		// Recorded trace vs running the generator live.
+		resFresh, _, err := sim.RunWorkload(cfg, wl)
+		if err != nil {
+			return fmt.Errorf("selfcheck: live generator run (seed %d): %w", wl.Seed, err)
+		}
+		if err := DiffResults("recorded replay", "live generator", ref, resFresh); err != nil {
+			return fmt.Errorf("selfcheck: seed %d: %w", wl.Seed, err)
+		}
+
+		// Eager barrier vs the sequential store buffer.
+		ssb := cfg
+		ssb.BufferedBarrier = true
+		ssb.Audit = Audited(1, everyEvents)
+		resSSB, err := sim.RunRecorded(ssb, rt)
+		if err != nil {
+			return fmt.Errorf("selfcheck: buffered-barrier run (seed %d): %w", wl.Seed, err)
+		}
+		if err := DiffResults("eager barrier", "buffered barrier", ref, resSSB); err != nil {
+			return fmt.Errorf("selfcheck: seed %d: %w", wl.Seed, err)
+		}
+	}
+
+	// Phase 3: serial loop vs the parallel scheduler over all policies.
+	logf("selfcheck: phase 3: serial vs parallel scheduler")
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 4 {
+		workers = 4
+	}
+	sched := sim.NewScheduler(workers, workload.NewTraceCache(0))
+	parallel := make(map[string][]sim.Result)
+	for _, policy := range core.Names() {
+		cfg := simBase
+		cfg.Policy = policy
+		out := make([]sim.Result, seeds)
+		parallel[policy] = out
+		sched.SubmitSeeds(policy, cfg, wlBase, seeds, out)
+	}
+	err := sched.Wait()
+	sched.Close()
+	if err != nil {
+		return fmt.Errorf("selfcheck: parallel schedule failed: %w", err)
+	}
+	for _, policy := range core.Names() {
+		for i := 0; i < seeds; i++ {
+			if err := DiffResults("serial run", "scheduled run", byPolicy[policy][i], parallel[policy][i]); err != nil {
+				return fmt.Errorf("selfcheck: policy %s, seed %d: %w", policy, i, err)
+			}
+		}
+	}
+	logf("selfcheck: all paths agree, all audits passed")
+	return nil
+}
+
+// smallWorkload is the self-check workload: the default shape scaled to
+// roughly 350 KB live / 1 MB allocated, small enough that the O(heap)
+// catalog after every collection stays fast.
+func smallWorkload() workload.Config {
+	cfg := workload.DefaultConfig()
+	cfg.TargetLiveBytes = 350_000
+	cfg.TotalAllocBytes = 1_000_000
+	cfg.MinDeletions = 400
+	cfg.MeanTreeNodes = 80
+	cfg.LargeEvery = 500
+	cfg.LargeObjectSize = 16384
+	return cfg
+}
+
+// smallSim is the matching simulator geometry: 8-page partitions so the
+// small database still spans enough partitions to exercise selection,
+// plus time-series sampling so the differential diff covers the series
+// path too.
+func smallSim() sim.Config {
+	return sim.Config{
+		Seed:              1,
+		Heap:              heap.Config{PageSize: 4096, PartitionPages: 8, ReserveEmpty: true},
+		TriggerOverwrites: 60,
+		SampleEvery:       2000,
+	}
+}

@@ -144,7 +144,7 @@ func (b *BaseRun) Table2() *stats.Table {
 			fmt.Sprintf("%.0f", agg.AppIOs.Mean), fmt.Sprintf("%.0f", agg.AppIOs.StdDev),
 			fmt.Sprintf("%.0f", agg.GCIOs.Mean), fmt.Sprintf("%.0f", agg.GCIOs.StdDev),
 			fmt.Sprintf("%.0f", agg.TotalIOs.Mean),
-			fmt.Sprintf("%.3f", rel.Mean), fmt.Sprintf("%.3f", rel.StdDev))
+			stats.FormatFloat(rel.Mean, 3), stats.FormatFloat(rel.StdDev, 3))
 	}
 	return t
 }
@@ -159,7 +159,7 @@ func (b *BaseRun) Table3() *stats.Table {
 		rel := b.relative(policy, func(r sim.Result) float64 { return float64(r.MaxOccupiedBytes) })
 		t.AddRow(policy,
 			fmt.Sprintf("%.0f", agg.MaxOccupiedKB.Mean), fmt.Sprintf("%.0f", agg.MaxOccupiedKB.StdDev),
-			fmt.Sprintf("%.3f", rel.Mean),
+			stats.FormatFloat(rel.Mean, 3),
 			fmt.Sprintf("%.1f", agg.NumPartitions.Mean), fmt.Sprintf("%.2f", agg.NumPartitions.StdDev))
 	}
 	return t
@@ -174,15 +174,14 @@ func (b *BaseRun) Table4() *stats.Table {
 	baseEff := sim.Aggregates(b.Results[core.NameMostGarbage]).EfficiencyKBPerIO.Mean
 	for _, policy := range b.Policies {
 		agg := sim.Aggregates(b.Results[policy])
-		relEff := 0.0
-		if baseEff != 0 {
-			relEff = agg.EfficiencyKBPerIO.Mean / baseEff
-		}
+		// Ratio yields NaN over a zero base (e.g. NoCollection-only runs),
+		// which FormatFloat renders as "n/a" rather than a spurious 0.00.
+		relEff := agg.EfficiencyKBPerIO.Ratio(baseEff)
 		t.AddRow(policy,
 			fmt.Sprintf("%.0f", agg.ReclaimedKB.Mean), fmt.Sprintf("%.0f", agg.ReclaimedKB.StdDev),
 			fmt.Sprintf("%.2f", agg.FractionReclaimed.Mean), fmt.Sprintf("%.2f", agg.FractionReclaimed.StdDev),
 			fmt.Sprintf("%.2f", agg.EfficiencyKBPerIO.Mean),
-			fmt.Sprintf("%.2f", relEff))
+			stats.FormatFloat(relEff, 2))
 	}
 	garbage := sim.Aggregates(b.Results[core.NameMostGarbage]).ActualGarbageKB
 	t.AddRow("Actual Garbage",

@@ -50,6 +50,7 @@ type Collector struct {
 	pol       core.Policy
 	env       *core.Env
 	stats     CollectorStats
+	lifetime  CollectorStats
 	paranoid  bool
 	traversal Traversal
 
@@ -75,6 +76,15 @@ type CollectorStats struct {
 	// CopiedBytes and CopiedObjects total the survivors evacuated.
 	CopiedBytes   int64
 	CopiedObjects int64
+}
+
+// add accumulates one evacuation's totals into the counters.
+func (s *CollectorStats) add(res CollectionResult) {
+	s.Collections++
+	s.ReclaimedBytes += res.ReclaimedBytes
+	s.ReclaimedObjects += res.ReclaimedObjects
+	s.CopiedBytes += res.CopiedBytes
+	s.CopiedObjects += res.CopiedObjects
 }
 
 // CollectionResult describes one activation.
@@ -108,6 +118,12 @@ func (c *Collector) SetTraversal(t Traversal) { c.traversal = t }
 // Stats returns a snapshot of collector counters.
 func (c *Collector) Stats() CollectorStats { return c.stats }
 
+// Lifetime returns counters accumulated since construction, unaffected by
+// ResetStats. The audit layer uses them for byte-conservation checks
+// (total allocated == occupied + lifetime reclaimed), which must hold
+// across warm-start measurement resets.
+func (c *Collector) Lifetime() CollectorStats { return c.lifetime }
+
 // ResetStats zeroes the collector counters (warm-start measurement).
 func (c *Collector) ResetStats() { c.stats = CollectorStats{} }
 
@@ -117,6 +133,7 @@ func (c *Collector) Collect() CollectionResult {
 	victim, ok := c.pol.Select(c.env)
 	if !ok {
 		c.stats.Declined++
+		c.lifetime.Declined++
 		return CollectionResult{}
 	}
 	if victim == c.h.EmptyPartition() {
@@ -241,11 +258,8 @@ func (c *Collector) evacuate(victim heap.PartitionID) CollectionResult {
 	c.rem.Rekey(victim, dest)
 	c.h.SetEmptyPartition(victim)
 
-	c.stats.Collections++
-	c.stats.ReclaimedBytes += res.ReclaimedBytes
-	c.stats.ReclaimedObjects += res.ReclaimedObjects
-	c.stats.CopiedBytes += res.CopiedBytes
-	c.stats.CopiedObjects += res.CopiedObjects
+	c.stats.add(res)
+	c.lifetime.add(res)
 	return res
 }
 

@@ -347,6 +347,19 @@ func (t *Table) OutCount(oid heap.OID) int {
 	return int(t.outCount[oid])
 }
 
+// CorruptFirstEntryForTesting flips the recorded target OID of one
+// remembered entry of partition p, returning false when p has no entries.
+// It exists ONLY for fault-injection tests of the audit layer
+// (internal/check), which must prove that a single flipped entry is
+// detected and named; production code must never call it.
+func (t *Table) CorruptFirstEntryForTesting(p heap.PartitionID) bool {
+	if int(p) >= len(t.in) || len(t.in[p].entries) == 0 {
+		return false
+	}
+	t.in[p].entries[0].target++
+	return true
+}
+
 // Audit verifies the table against a brute-force scan of the heap,
 // returning a description of the first inconsistency found, or "" if the
 // table is exact. Tests and the simulator's paranoid mode use it.

@@ -41,10 +41,17 @@ func ModernDiskModel() DiskModel {
 	}
 }
 
-// Validate reports the first bad parameter.
+// Validate reports the first bad parameter, naming it specifically.
 func (m DiskModel) Validate() error {
-	if m.Seek < 0 || m.Rotation < 0 || m.Transfer <= 0 {
-		return fmt.Errorf("sim: disk model %+v has non-positive transfer or negative latency", m)
+	switch {
+	case m.Transfer <= 0:
+		return fmt.Errorf("sim: disk model transfer time %v must be positive", m.Transfer)
+	case m.Seek < 0:
+		return fmt.Errorf("sim: disk model seek time %v negative", m.Seek)
+	case m.Rotation < 0:
+		return fmt.Errorf("sim: disk model rotation time %v negative", m.Rotation)
+	case m.Seek == 0 && m.Rotation == 0:
+		return fmt.Errorf("sim: disk model seek and rotation both zero — not a rotating disk; set at least one positive latency")
 	}
 	return nil
 }

@@ -1,0 +1,39 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDiskModelValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		m    DiskModel
+		want string // substring of the error, "" for valid
+	}{
+		{"default", DefaultDiskModel(), ""},
+		{"modern", ModernDiskModel(), ""},
+		{"zero transfer", DiskModel{Seek: time.Millisecond, Rotation: time.Millisecond}, "transfer"},
+		{"negative transfer", DiskModel{Seek: time.Millisecond, Rotation: time.Millisecond, Transfer: -1}, "transfer"},
+		{"negative seek", DiskModel{Seek: -time.Millisecond, Rotation: time.Millisecond, Transfer: time.Millisecond}, "seek"},
+		{"negative rotation", DiskModel{Seek: time.Millisecond, Rotation: -time.Millisecond, Transfer: time.Millisecond}, "rotation"},
+		{"all-zero latency", DiskModel{Transfer: time.Millisecond}, "both zero"},
+		{"seek only", DiskModel{Seek: time.Millisecond, Transfer: time.Millisecond}, ""},
+		{"rotation only", DiskModel{Rotation: time.Millisecond, Transfer: time.Millisecond}, ""},
+	}
+	for _, tc := range cases {
+		err := tc.m.Validate()
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: Validate() = %v, want nil", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: Validate() passed, want error naming %q", tc.name, tc.want)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate() = %q, want it to name %q", tc.name, err, tc.want)
+		}
+	}
+}

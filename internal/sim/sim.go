@@ -91,6 +91,25 @@ type Config struct {
 	// starts and notes they only lessen the differentiation among
 	// policies; this option quantifies that remark.
 	WarmStart bool
+	// Audit wires an external cross-structure invariant auditor into the
+	// run (internal/check supplies the full catalog). The zero value is
+	// off and adds no cost to the event path beyond one nil check.
+	Audit AuditConfig
+}
+
+// AuditConfig configures the invariant-audit cadence of a simulation.
+type AuditConfig struct {
+	// Check is invoked at the cadence below with the simulator whose
+	// live state it should verify; a non-nil error aborts the run (Emit
+	// returns it, naming the violated invariant). nil disables auditing.
+	Check func(*Sim) error
+	// EveryCollections invokes Check after every Nth collector
+	// activation (1 = after every collection); 0 disables this cadence.
+	EveryCollections int
+	// EveryEvents invokes Check every N application events; 0 disables
+	// this cadence. Check still runs only between events, never inside
+	// one.
+	EveryEvents int64
 }
 
 // DefaultConfig returns the simulator configuration for the paper's
@@ -130,6 +149,12 @@ func (c Config) validate() error {
 	if c.ClientCachePages > 0 && c.Replacement != pagebuf.LRU {
 		return fmt.Errorf("sim: client/server mode supports only the LRU replacement")
 	}
+	if c.Audit.EveryCollections < 0 {
+		return fmt.Errorf("sim: Audit.EveryCollections %d negative", c.Audit.EveryCollections)
+	}
+	if c.Audit.EveryEvents < 0 {
+		return fmt.Errorf("sim: Audit.EveryEvents %d negative", c.Audit.EveryEvents)
+	}
 	return nil
 }
 
@@ -156,6 +181,10 @@ type Sim struct {
 	globalSweeps          int64
 	series                *stats.Series
 	finished              bool
+
+	// Audit cadence state; untouched when cfg.Audit.Check is nil.
+	activationsSinceAudit int
+	auditDue              bool
 
 	// Measurement window baselines, nonzero after ResetMeasurement.
 	occupiedAtReset int64
@@ -245,6 +274,34 @@ func (s *Sim) Heap() *heap.Heap { return s.h }
 // Events reports the number of application events applied.
 func (s *Sim) Events() int64 { return s.events }
 
+// Remset exposes the remembered sets (read-only use intended; the audit
+// layer reconciles them against the heap).
+func (s *Sim) Remset() *remset.Table { return s.rem }
+
+// Buffer exposes the page buffer — the client tier in client/server mode.
+func (s *Sim) Buffer() *pagebuf.Buffer { return s.buf }
+
+// Tiered exposes the client/server buffer pair, nil in single-process mode.
+func (s *Sim) Tiered() *pagebuf.Tiered { return s.tiered }
+
+// Oracle exposes the reachability oracle over the simulated heap.
+func (s *Sim) Oracle() *heap.Oracle { return s.oracle }
+
+// Config returns the run's configuration.
+func (s *Sim) Config() Config { return s.cfg }
+
+// CollectorStats returns the collector counters for the current
+// measurement window.
+func (s *Sim) CollectorStats() gc.CollectorStats { return s.col.Stats() }
+
+// CollectorLifetime returns collector counters accumulated since
+// construction, unaffected by ResetMeasurement — the baseline for
+// byte-conservation audits, which must hold across warm-start resets.
+func (s *Sim) CollectorLifetime() gc.CollectorStats { return s.col.Lifetime() }
+
+// MutatorStats returns the mutator counters for the current window.
+func (s *Sim) MutatorStats() gc.MutatorStats { return s.mut.Stats() }
+
 // Emit applies one application event, implementing trace.Sink.
 func (s *Sim) Emit(e trace.Event) error {
 	if s.finished {
@@ -289,6 +346,40 @@ func (s *Sim) Emit(e trace.Event) error {
 	if s.series != nil && s.events%s.cfg.SampleEvery == 0 {
 		s.sample()
 	}
+	if s.cfg.Audit.Check != nil {
+		return s.auditTick()
+	}
+	return nil
+}
+
+// auditTick fires the configured check when a cadence is due. It runs at
+// the end of Emit so the check always observes the quiescent state
+// between events, never the middle of one.
+func (s *Sim) auditTick() error {
+	due := s.auditDue
+	s.auditDue = false
+	if !due && s.cfg.Audit.EveryEvents > 0 && s.events%s.cfg.Audit.EveryEvents == 0 {
+		due = true
+	}
+	if !due {
+		return nil
+	}
+	return s.Audit()
+}
+
+// Audit runs the configured invariant check immediately, regardless of
+// cadence. The buffered write barrier is drained first so the remembered
+// sets reflect every store applied so far (a no-op under the eager
+// barrier). Returns nil when no check is configured.
+func (s *Sim) Audit() error {
+	if s.cfg.Audit.Check == nil {
+		return nil
+	}
+	s.mut.DrainBarrier()
+	if err := s.cfg.Audit.Check(s); err != nil {
+		return fmt.Errorf("sim: audit after %d events (policy %s, seed %d): %w",
+			s.events, s.cfg.Policy, s.cfg.Seed, err)
+	}
 	return nil
 }
 
@@ -315,6 +406,13 @@ func (s *Sim) collect() {
 	s.trig.Reset()
 	s.mut.ResetOverwrites()
 	s.lastOverwrite = 0
+	if s.cfg.Audit.Check != nil && s.cfg.Audit.EveryCollections > 0 {
+		s.activationsSinceAudit++
+		if s.activationsSinceAudit >= s.cfg.Audit.EveryCollections {
+			s.activationsSinceAudit = 0
+			s.auditDue = true
+		}
+	}
 }
 
 // ResetMeasurement restarts the measurement window at the current
@@ -379,8 +477,12 @@ type Result struct {
 	MaxFootprintBytes int64
 	NumPartitions     int
 
-	// Collections and reclamation totals (Table 4).
+	// Collections and reclamation totals (Table 4). Declined counts
+	// trigger activations where the policy chose not to collect; the
+	// trigger-parity audit relies on Collections+Declined being a pure
+	// function of the workload.
 	Collections      int64
+	Declined         int64
 	ReclaimedBytes   int64
 	ReclaimedObjects int64
 	CopiedBytes      int64
@@ -451,6 +553,7 @@ func (s *Sim) Finish() Result {
 		MaxFootprintBytes:   s.maxFootprint,
 		NumPartitions:       s.h.NumPartitions(),
 		Collections:         colStats.Collections,
+		Declined:            colStats.Declined,
 		ReclaimedBytes:      colStats.ReclaimedBytes,
 		ReclaimedObjects:    colStats.ReclaimedObjects,
 		CopiedBytes:         colStats.CopiedBytes,

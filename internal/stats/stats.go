@@ -64,7 +64,21 @@ func (s Summary) Ratio(base float64) float64 {
 	return s.Mean / base
 }
 
-// String formats the summary as "mean ± stddev".
+// String formats the summary as "mean ± stddev", or "n/a" when the
+// sample is undefined (NaN mean or deviation).
 func (s Summary) String() string {
+	if math.IsNaN(s.Mean) || math.IsNaN(s.StdDev) {
+		return "n/a"
+	}
 	return fmt.Sprintf("%.1f ± %.1f", s.Mean, s.StdDev)
+}
+
+// FormatFloat renders v with prec decimal places for table cells,
+// printing "n/a" instead of "NaN" for undefined values (e.g. a Ratio
+// over a zero base).
+func FormatFloat(v float64, prec int) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.*f", prec, v)
 }

@@ -151,3 +151,19 @@ func TestSeriesAddArityPanics(t *testing.T) {
 	}()
 	s.Add(1, 1.0)
 }
+
+func TestNaNRendering(t *testing.T) {
+	nan := math.NaN()
+	if got := (Summary{Mean: nan, StdDev: nan}).String(); got != "n/a" {
+		t.Errorf("NaN summary renders %q, want n/a", got)
+	}
+	if got := (Summary{Mean: 3.14, StdDev: 0.5}).String(); got != "3.1 ± 0.5" {
+		t.Errorf("finite summary renders %q", got)
+	}
+	if got := FormatFloat(nan, 3); got != "n/a" {
+		t.Errorf("FormatFloat(NaN) = %q, want n/a", got)
+	}
+	if got := FormatFloat(1.2345, 2); got != "1.23" {
+		t.Errorf("FormatFloat(1.2345, 2) = %q", got)
+	}
+}

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 
 	"odbgc/internal/trace"
@@ -154,6 +155,10 @@ type genResult struct {
 	err   error
 }
 
+// recordTrace is Record, indirected so cache tests can inject failing or
+// panicking generations.
+var recordTrace = Record
+
 // NewTraceCache returns a cache bounded to budget bytes of recorded
 // trace data; budget <= 0 disables eviction (unbounded).
 func NewTraceCache(budget int64) *TraceCache {
@@ -185,7 +190,27 @@ func (c *TraceCache) Get(cfg Config) (*RecordedTrace, error) {
 	c.stats.Misses++
 	c.mu.Unlock()
 
-	rt, err := Record(cfg)
+	// Generation runs outside the lock. A panicking generator must not
+	// poison the cache: without the cleanup below, the in-flight node
+	// stays pinned under cfg forever and every later Get of the same
+	// configuration blocks on a ready channel nobody will close. The
+	// deferred recovery removes the node, releases all waiters with an
+	// error, and re-panics so the bug still surfaces in this goroutine.
+	completed := false
+	defer func() {
+		if completed {
+			return
+		}
+		r := recover()
+		res.err = fmt.Errorf("workload: trace generation for seed %d panicked: %v", cfg.Seed, r)
+		c.mu.Lock()
+		c.removeLocked(i)
+		c.mu.Unlock()
+		close(res.ready)
+		panic(r)
+	}()
+	rt, err := recordTrace(cfg)
+	completed = true
 	res.rt, res.err = rt, err
 
 	// Node i is still ours: in-flight nodes (size == 0) are never evicted,

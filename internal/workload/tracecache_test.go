@@ -1,9 +1,12 @@
 package workload
 
 import (
+	"errors"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"odbgc/internal/trace"
 )
@@ -156,5 +159,116 @@ func TestTraceCacheDoesNotCacheErrors(t *testing.T) {
 	}
 	if got := c.Stats().Misses; got != 2 {
 		t.Fatalf("failed entries should not be cached: misses = %d", got)
+	}
+}
+
+// TestTraceCachePanicReleasesWaiters injects a panicking generator and
+// verifies the cache does not stay poisoned: the panic still surfaces in
+// the generating goroutine, concurrent waiters on the same configuration
+// get an error instead of blocking forever on the in-flight node, and a
+// later Get regenerates cleanly.
+func TestTraceCachePanicReleasesWaiters(t *testing.T) {
+	orig := recordTrace
+	defer func() { recordTrace = orig }()
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	recordTrace = func(Config) (*RecordedTrace, error) {
+		close(started)
+		<-release
+		panic("injected generator failure")
+	}
+
+	c := NewTraceCache(0)
+	cfg := cacheTestConfig(7)
+
+	panicked := make(chan any, 1)
+	go func() {
+		defer func() { panicked <- recover() }()
+		c.Get(cfg)
+	}()
+	<-started
+
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, err := c.Get(cfg)
+		waiterErr <- err
+	}()
+	// The waiter counts as a hit the moment it adopts the in-flight node.
+	for deadline := time.Now().Add(5 * time.Second); c.Stats().Hits == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("second Get never joined the in-flight generation")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+
+	if r := <-panicked; r == nil {
+		t.Fatal("generating Get swallowed the panic")
+	}
+	select {
+	case err := <-waiterErr:
+		if err == nil || !strings.Contains(err.Error(), "panicked") {
+			t.Fatalf("waiter error = %v, want the injected panic reported", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter still blocked after panicking generation — in-flight node leaked")
+	}
+
+	recordTrace = orig
+	rt, err := c.Get(cfg)
+	if err != nil || rt == nil {
+		t.Fatalf("Get after recovered panic = (%v, %v), want a fresh trace", rt, err)
+	}
+	st := c.Stats()
+	if st.Misses != 2 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want 2 misses (panicked + retry) and 1 hit (waiter)", st)
+	}
+}
+
+// TestTraceCacheErrorReleasesWaiters covers the non-panicking failure:
+// every waiter on a generation that returns an error receives that
+// error, and the entry is not cached.
+func TestTraceCacheErrorReleasesWaiters(t *testing.T) {
+	orig := recordTrace
+	defer func() { recordTrace = orig }()
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	recordTrace = func(Config) (*RecordedTrace, error) {
+		close(started)
+		<-release
+		return nil, errors.New("injected generation error")
+	}
+
+	c := NewTraceCache(0)
+	cfg := cacheTestConfig(8)
+
+	genErr := make(chan error, 1)
+	go func() {
+		_, err := c.Get(cfg)
+		genErr <- err
+	}()
+	<-started
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, err := c.Get(cfg)
+		waiterErr <- err
+	}()
+	for deadline := time.Now().Add(5 * time.Second); c.Stats().Hits == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("second Get never joined the in-flight generation")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+
+	for _, ch := range []chan error{genErr, waiterErr} {
+		if err := <-ch; err == nil || !strings.Contains(err.Error(), "injected generation error") {
+			t.Fatalf("Get error = %v, want the injected error", err)
+		}
+	}
+	if st := c.Stats(); st.UsedBytes != 0 {
+		t.Fatalf("failed generation left %d bytes charged", st.UsedBytes)
 	}
 }
