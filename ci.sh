@@ -6,7 +6,18 @@
 # shared state.
 set -eux
 
+gofmt_dirty=$(gofmt -l cmd internal)
+if [ -n "$gofmt_dirty" ]; then
+    echo "gofmt: needs formatting:" >&2
+    echo "$gofmt_dirty" >&2
+    exit 1
+fi
 go vet ./...
+# Project-specific analyzers (determinism, zero-alloc hot paths, arena
+# discipline, exhaustive enum switches) — see DESIGN.md "Static analysis
+# layer" and internal/analysis.
+go build -o bin/odbgc-vet ./cmd/odbgc-vet
+go vet -vettool="$(pwd)/bin/odbgc-vet" ./...
 go build ./...
 go test ./...
 go test -race ./internal/sim ./internal/gc

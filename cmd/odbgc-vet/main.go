@@ -1,0 +1,229 @@
+// odbgc-vet is the repository's custom vet tool: it drives the
+// internal/analysis suite (detmap, simclock, hotalloc, arenaindex,
+// kindswitch) through the `go vet -vettool` protocol.
+//
+// Build and run it locally with:
+//
+//	go build -o bin/odbgc-vet ./cmd/odbgc-vet
+//	go vet -vettool="$(pwd)/bin/odbgc-vet" ./...
+//
+// The protocol (the contract go's cmd/go expects from a vet tool, the
+// same one golang.org/x/tools/go/analysis/unitchecker implements) is:
+//
+//	odbgc-vet -V=full     print a version line for build caching
+//	odbgc-vet -flags      describe the tool's flags as JSON
+//	odbgc-vet unit.cfg    analyze one package described by a JSON file
+//
+// For each analyzed package the go command supplies a .cfg file naming
+// the package's sources and the compiler-produced export data of its
+// dependencies; the tool parses and type-checks the unit with the
+// standard library's go/importer in lookup mode, runs every analyzer,
+// and prints findings as file:line:col: analyzer: message on stderr,
+// exiting nonzero if there were any. The module deliberately has no
+// dependencies, so the driver speaks the protocol itself instead of
+// importing unitchecker.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"odbgc/internal/analysis"
+)
+
+// vetConfig mirrors the JSON compilation-unit description the go
+// command writes for vet tools (unitchecker.Config). Fields the tool
+// does not consume are omitted; unknown JSON keys are ignored.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string // import path -> canonical package path
+	PackageFile               map[string]string // canonical package path -> export data file
+	Standard                  map[string]bool
+	VetxOnly                  bool // run only to produce facts for dependents
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("odbgc-vet: ")
+
+	args := os.Args[1:]
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full" || args[0] == "--V=full":
+			printVersion()
+			return
+		case args[0] == "-flags" || args[0] == "--flags":
+			// No tool-specific flags; tell the go command so.
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		log.Fatalf("usage: odbgc-vet unit.cfg (normally invoked via go vet -vettool=odbgc-vet)")
+	}
+	os.Exit(run(args[0]))
+}
+
+// printVersion implements -V=full: cmd/go requires a line of the form
+// "<name> version devel ... buildID=<content hash>" and uses the hash
+// as the tool's cache key, so analyzer changes invalidate cached vet
+// results.
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("odbgc-vet version devel analyzers buildID=%x\n", h.Sum(nil))
+}
+
+func run(cfgFile string) int {
+	cfg, err := readConfig(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The suite has no inter-package facts, so dependency-only runs
+	// have nothing to compute; still record an (empty) facts file so
+	// the build cache has something to save.
+	writeVetx(cfg)
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0 // the compiler will report it
+			}
+			log.Fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	tc := &types.Config{
+		Importer:  makeImporter(cfg, fset),
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		log.Fatal(err)
+	}
+
+	exit := 0
+	for _, a := range analysis.All() {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), a.Name, d.Message)
+			exit = 1
+		}
+		if err := a.Run(pass); err != nil {
+			log.Printf("analyzer %s failed on %s: %v", a.Name, cfg.ImportPath, err)
+			exit = 1
+		}
+	}
+	return exit
+}
+
+func readConfig(name string) (*vetConfig, error) {
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode vet config %s: %v", name, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("package has no Go files: %s", cfg.ImportPath)
+	}
+	return cfg, nil
+}
+
+// makeImporter resolves imports the way the go command expects a vet
+// tool to: the import path as written is mapped through ImportMap to a
+// canonical package path, whose compiler-produced export data file is
+// named by PackageFile.
+func makeImporter(cfg *vetConfig, fset *token.FileSet) types.Importer {
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data file for %q", path)
+		}
+		return os.Open(file)
+	})
+	return importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("cannot resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// writeVetx records the tool's (empty) fact output where the go command
+// asked for it; absence would defeat caching of the vet action.
+func writeVetx(cfg *vetConfig) {
+	if cfg.VetxOutput == "" {
+		return
+	}
+	if err := os.WriteFile(cfg.VetxOutput, []byte("odbgc-vet: no facts\n"), 0o666); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -95,6 +95,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 				overwrites++
 			}
 			valueByLoc[loc] = e.Target
+		case trace.KindRoot, trace.KindRead, trace.KindModify:
+			// Counted in the per-kind totals above; no size or
+			// overwrite bookkeeping applies.
 		}
 	}
 

@@ -1,0 +1,163 @@
+// Package analysis is the repository's static-analysis layer: a small
+// go/analysis-compatible framework plus five project-specific analyzers
+// that turn the codebase's determinism and zero-allocation conventions
+// into compile-time errors.
+//
+// The paper's methodology depends on every policy observing a
+// bit-identical trace-driven event stream (Section 4); the runtime audit
+// layer (internal/check) verifies that property after the fact, while
+// this package prevents the classes of code that break it from being
+// written at all: map-iteration-ordered results (detmap), unseeded or
+// ambient randomness and clocks (simclock), allocation on the measured
+// fast paths (hotalloc), dangling pointers into the intrusive frame
+// arenas (arenaindex), and silently non-exhaustive switches over the
+// event-kind and policy enumerations (kindswitch).
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis —
+// Analyzer, Pass, Diagnostic carry the same meaning — but is built on
+// the standard library alone so the module stays dependency-free. The
+// cmd/odbgc-vet binary drives the analyzers through the `go vet
+// -vettool` protocol; internal/analysis/atest runs them over fixture
+// packages in tests.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer is one static check. The fields mirror
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppression docs.
+	Name string
+	// Doc is the analyzer's one-paragraph description.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzed package to an Analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic.
+	Report func(Diagnostic)
+
+	// suppressions maps file -> line -> suppression marker text for
+	// every //odbgc:<marker> comment, built lazily.
+	suppressions map[string]map[int]string
+}
+
+// A Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos, unless the line (or the
+// line above it) carries the analyzer's suppression marker.
+func (p *Pass) Reportf(pos token.Pos, marker string, format string, args ...any) {
+	if p.Suppressed(pos, marker) {
+		return
+	}
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// suppressionPrefix introduces every in-source suppression comment:
+// //odbgc:<marker> <reason>.
+const suppressionPrefix = "odbgc:"
+
+// Suppressed reports whether the line holding pos, or the line
+// immediately above it, carries an //odbgc:<marker> comment.
+func (p *Pass) Suppressed(pos token.Pos, marker string) bool {
+	if p.suppressions == nil {
+		p.suppressions = map[string]map[int]string{}
+		for _, f := range p.Files {
+			name := p.Fset.Position(f.Pos()).Filename
+			lines := map[int]string{}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, suppressionPrefix) {
+						continue
+					}
+					word := strings.TrimPrefix(text, suppressionPrefix)
+					if i := strings.IndexAny(word, " \t"); i >= 0 {
+						word = word[:i]
+					}
+					lines[p.Fset.Position(c.Pos()).Line] = word
+				}
+			}
+			p.suppressions[name] = lines
+		}
+	}
+	posn := p.Fset.Position(pos)
+	lines := p.suppressions[posn.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[posn.Line] == marker || lines[posn.Line-1] == marker
+}
+
+// InTestFile reports whether pos lies in a _test.go file. The analyzers
+// enforce determinism and allocation discipline on the code that
+// produces results; tests are exempt.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// resultPackages names the packages whose code can influence simulation
+// results or rendered output. detmap and simclock scope themselves to
+// these; matching is by package name so analysistest fixtures (package
+// sim, package core, ...) exercise the same predicate the real tree
+// does.
+var resultPackages = map[string]bool{
+	"core":        true,
+	"gc":          true,
+	"heap":        true,
+	"sim":         true,
+	"workload":    true,
+	"experiments": true,
+	"pagebuf":     true,
+	"remset":      true,
+	"trace":       true,
+	"stats":       true,
+	"check":       true,
+}
+
+// isResultPackage reports whether the pass's package is one whose
+// behavior feeds into simulation results or rendered tables.
+func isResultPackage(pass *Pass) bool {
+	return resultPackages[pass.Pkg.Name()]
+}
+
+// All returns every analyzer in the suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		DetMap,
+		SimClock,
+		HotAlloc,
+		ArenaIndex,
+		KindSwitch,
+	}
+}
+
+// pathEnclosingInterval is a minimal ast.Inspect-based helper returning
+// the FuncDecl whose body contains pos, if any.
+func enclosingFuncDecl(file *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil && fd.Body.Pos() <= pos && pos <= fd.Body.End() {
+			return fd
+		}
+	}
+	return nil
+}

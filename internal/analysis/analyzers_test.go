@@ -1,0 +1,32 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"odbgc/internal/analysis"
+	"odbgc/internal/analysis/atest"
+)
+
+// Each fixture package demonstrates at least one true positive, one true
+// negative, and one suppressed line for its analyzer; atest.Run fails on
+// any unmatched or unexpected diagnostic.
+
+func TestDetMap(t *testing.T) {
+	atest.Run(t, "testdata/detmap/sim", analysis.DetMap)
+}
+
+func TestSimClock(t *testing.T) {
+	atest.Run(t, "testdata/simclock/sim", analysis.SimClock)
+}
+
+func TestHotAlloc(t *testing.T) {
+	atest.Run(t, "testdata/hotalloc/trace", analysis.HotAlloc)
+}
+
+func TestArenaIndex(t *testing.T) {
+	atest.Run(t, "testdata/arenaindex/pagebuf", analysis.ArenaIndex)
+}
+
+func TestKindSwitch(t *testing.T) {
+	atest.Run(t, "testdata/kindswitch/core", analysis.KindSwitch)
+}

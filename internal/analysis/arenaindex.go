@@ -1,0 +1,355 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ArenaIndex guards the intrusive index-linked arenas (the page buffer's
+// []frame, the trace cache's []cacheNode): slices of structs chained by
+// int32 prev/next indices, where -1 is the nil sentinel because 0 is a
+// valid slot.
+//
+// Two mistakes are easy to make and survive every test until the arena
+// happens to grow or slot 0 happens to be involved:
+//
+//   - taking &arena[i] and holding the pointer across a statement that
+//     can grow the arena's backing slice (an append to the same slice,
+//     or a call to a same-package function that appends to the same
+//     field) — the pointer then mutates the stale array; and
+//   - treating 0 as the "no frame" value: comparing a link field to 0,
+//     assigning 0 to one, or building an arena element literal that
+//     leaves the link fields to their zero value.
+//
+// Intentional exceptions carry //odbgc:arena-ok <reason>.
+var ArenaIndex = &Analyzer{
+	Name: "arenaindex",
+	Doc: "flags stale pointers into index-linked arenas and 0-vs-(-1) " +
+		"sentinel confusion in their link fields",
+	Run: runArenaIndex,
+}
+
+const arenaMarker = "arena-ok"
+
+// arenaLinkFields are the int32 struct fields treated as intra-arena
+// links when they appear on an arena element type ("prev", "next") or
+// beside an arena slice field ("head", "tail", "free", "hand").
+var arenaElemLinks = map[string]bool{"prev": true, "next": true}
+var arenaOwnerLinks = map[string]bool{"head": true, "tail": true, "free": true, "hand": true}
+
+// isArenaElem reports whether t is a named struct type with int32 prev
+// and next fields — the shape of an intrusive arena element.
+func isArenaElem(t types.Type) bool {
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	links := 0
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if arenaElemLinks[f.Name()] && isInt32(f.Type()) {
+			links++
+		}
+	}
+	return links == 2
+}
+
+// isArenaSlice reports whether t is a slice of arena elements.
+func isArenaSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	return ok && isArenaElem(sl.Elem())
+}
+
+func isInt32(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Int32
+}
+
+func runArenaIndex(pass *Pass) error {
+	growers := collectGrowers(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || pass.InTestFile(fn.Pos()) {
+				continue
+			}
+			checkSentinels(pass, fn)
+			checkHeldPointers(pass, fn, growers)
+		}
+	}
+	return nil
+}
+
+// linkFieldSel reports whether sel selects an arena link field: prev or
+// next on an arena element, or head/tail/free/hand on a struct that
+// also holds an arena slice.
+func linkFieldSel(pass *Pass, sel *ast.SelectorExpr) bool {
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return false
+	}
+	f, ok := selection.Obj().(*types.Var)
+	if !ok || !isInt32(f.Type()) {
+		return false
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	if arenaElemLinks[f.Name()] && isArenaElem(recv) {
+		return true
+	}
+	if !arenaOwnerLinks[f.Name()] {
+		return false
+	}
+	owner, ok := recv.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < owner.NumFields(); i++ {
+		if isArenaSlice(owner.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isZeroLiteral reports whether e is the integer constant 0.
+func isZeroLiteral(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	// Only flag a literal 0 written in source, not a named constant
+	// that happens to be zero (a deliberately defined sentinel).
+	if _, isLit := e.(*ast.BasicLit); !isLit {
+		return false
+	}
+	return tv.Value.String() == "0"
+}
+
+// checkSentinels flags comparisons and assignments of link fields
+// against the literal 0, and arena element literals that leave the link
+// fields implicitly zero.
+func checkSentinels(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			for _, pair := range [2][2]ast.Expr{{n.X, n.Y}, {n.Y, n.X}} {
+				if sel, ok := pair[0].(*ast.SelectorExpr); ok && linkFieldSel(pass, sel) && isZeroLiteral(pass, pair[1]) {
+					pass.Reportf(n.Pos(), arenaMarker,
+						"arena link field %s compared to 0, which is a valid slot; the nil sentinel is -1", sel.Sel.Name)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				if sel, ok := lhs.(*ast.SelectorExpr); ok && linkFieldSel(pass, sel) && isZeroLiteral(pass, n.Rhs[i]) {
+					pass.Reportf(n.Pos(), arenaMarker,
+						"arena link field %s assigned 0, which is a valid slot; the nil sentinel is -1", sel.Sel.Name)
+				}
+			}
+		case *ast.CompositeLit:
+			t := pass.TypesInfo.TypeOf(n)
+			if t == nil || !isArenaElem(t) {
+				return true
+			}
+			st := t.Underlying().(*types.Struct)
+			if len(n.Elts) > 0 && !isKeyed(n) {
+				return true // positional literal sets every field
+			}
+			set := map[string]bool{}
+			for _, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						set[id.Name] = true
+						if arenaElemLinks[id.Name] && isZeroLiteral(pass, kv.Value) {
+							pass.Reportf(kv.Pos(), arenaMarker,
+								"arena link field %s set to 0, which is a valid slot; the nil sentinel is -1", id.Name)
+						}
+					}
+				}
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				name := st.Field(i).Name()
+				if arenaElemLinks[name] && !set[name] {
+					pass.Reportf(n.Pos(), arenaMarker,
+						"arena element literal leaves link field %s at 0, which is a valid slot; set it to the -1 sentinel", name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isKeyed(lit *ast.CompositeLit) bool {
+	for _, e := range lit.Elts {
+		if _, ok := e.(*ast.KeyValueExpr); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// collectGrowers maps each function in the package to the set of field
+// names whose arena slice it can reallocate (assignments like
+// `c.nodes = append(c.nodes, ...)`).
+func collectGrowers(pass *Pass) map[*types.Func]map[string]bool {
+	growers := map[*types.Func]map[string]bool{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			grown := growthFields(pass, fn.Body, token.NoPos)
+			if len(grown) > 0 {
+				growers[obj] = grown
+			}
+		}
+	}
+	return growers
+}
+
+// growthFields returns the names of struct fields of arena slice type
+// assigned (reallocated) in body at positions after from.
+func growthFields(pass *Pass, body *ast.BlockStmt, from token.Pos) map[string]bool {
+	grown := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Pos() < from {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			sel, ok := lhs.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			if t := pass.TypesInfo.TypeOf(sel); t != nil && isArenaSlice(t) {
+				grown[sel.Sel.Name] = true
+			}
+		}
+		return true
+	})
+	return grown
+}
+
+// heldPointer records one `p := &arena[i]` binding.
+type heldPointer struct {
+	obj   *types.Var // the pointer variable
+	field string     // arena field name ("" when the slice is a plain variable)
+	slice string     // printed slice expression, for direct-reassignment matching
+	pos   token.Pos
+}
+
+// checkHeldPointers flags uses of an arena element pointer after a
+// statement that can grow the arena it points into.
+func checkHeldPointers(pass *Pass, fn *ast.FuncDecl, growers map[*types.Func]map[string]bool) {
+	var held []heldPointer
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			un, ok := rhs.(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				continue
+			}
+			idx, ok := un.X.(*ast.IndexExpr)
+			if !ok {
+				continue
+			}
+			t := pass.TypesInfo.TypeOf(idx.X)
+			if t == nil || !isArenaSlice(t) {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			var v *types.Var
+			if as.Tok == token.DEFINE {
+				v, _ = pass.TypesInfo.Defs[id].(*types.Var)
+			} else {
+				v, _ = pass.TypesInfo.Uses[id].(*types.Var)
+			}
+			if v == nil {
+				continue
+			}
+			hp := heldPointer{obj: v, slice: types.ExprString(idx.X), pos: as.Pos()}
+			if sel, ok := idx.X.(*ast.SelectorExpr); ok {
+				hp.field = sel.Sel.Name
+			}
+			held = append(held, hp)
+		}
+		return true
+	})
+	if len(held) == 0 {
+		return
+	}
+
+	// Find growth events after each binding; report pointer uses after
+	// the earliest one.
+	for _, hp := range held {
+		growPos := token.NoPos
+		var growDesc string
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if growPos.IsValid() {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if n.Pos() <= hp.pos {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					if types.ExprString(lhs) == hp.slice {
+						growPos, growDesc = n.Pos(), "reassignment of "+hp.slice
+					}
+				}
+			case *ast.CallExpr:
+				if n.Pos() <= hp.pos || hp.field == "" {
+					return true
+				}
+				var callee *types.Func
+				switch f := n.Fun.(type) {
+				case *ast.Ident:
+					callee, _ = pass.TypesInfo.Uses[f].(*types.Func)
+				case *ast.SelectorExpr:
+					callee, _ = pass.TypesInfo.Uses[f.Sel].(*types.Func)
+				}
+				if callee != nil && growers[callee][hp.field] {
+					growPos, growDesc = n.Pos(), "call to "+callee.Name()+", which grows "+hp.field
+				}
+			}
+			return true
+		})
+		if !growPos.IsValid() {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || id.Pos() <= growPos {
+				return true
+			}
+			if pass.TypesInfo.Uses[id] == hp.obj {
+				pass.Reportf(id.Pos(), arenaMarker,
+					"%s points into arena %s but is used after %s; re-index the arena instead",
+					id.Name, hp.slice, growDesc)
+				return false
+			}
+			return true
+		})
+	}
+}

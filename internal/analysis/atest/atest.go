@@ -1,0 +1,164 @@
+// Package atest runs the repository's analyzers over fixture packages,
+// playing the role golang.org/x/tools/go/analysis/analysistest plays for
+// upstream analyzers. A fixture directory holds one package; expected
+// diagnostics are declared in the source with trailing comments of the
+// form
+//
+//	for k := range m { // want "order-dependent"
+//
+// Every diagnostic the analyzer reports must match a `// want "regexp"`
+// comment on its line, and every want comment must be matched by at least
+// one diagnostic; either mismatch fails the test. Fixtures are
+// type-checked from source (importer "source"), so they may import the
+// standard library but nothing else.
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"odbgc/internal/analysis"
+)
+
+// wantRe extracts the expectation pattern from a // want "..." or
+// // want `...` comment.
+var wantRe = regexp.MustCompile("//\\s*want\\s+(?:\"([^\"]*)\"|`([^`]*)`)")
+
+// A want is one expected diagnostic: a pattern bound to a file line.
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run applies the analyzer to the fixture package in dir and compares the
+// diagnostics it reports against the fixture's want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+
+	fset := token.NewFileSet()
+	files, err := parseFixture(fset, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files in fixture %s", dir)
+	}
+
+	pkgName := files[0].Name.Name
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := conf.Check(pkgName, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+
+	wants := collectWants(t, fset, files)
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		if w := matchWant(wants, posn, d.Message); w == nil {
+			t.Errorf("%s: unexpected diagnostic: %s", posn, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// parseFixture parses every .go file in dir, sorted by name for stable
+// file order.
+func parseFixture(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// collectWants gathers every // want "regexp" comment in the fixture.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pattern := m[1]
+				if pattern == "" {
+					pattern = m[2]
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", fset.Position(c.Pos()), pattern, err)
+				}
+				posn := fset.Position(c.Pos())
+				wants = append(wants, &want{file: posn.Filename, line: posn.Line, pattern: re})
+			}
+		}
+	}
+	return wants
+}
+
+// matchWant finds a want on the diagnostic's line whose pattern matches
+// the message, marking it matched.
+func matchWant(wants []*want, posn token.Position, msg string) *want {
+	for _, w := range wants {
+		if w.file == posn.Filename && w.line == posn.Line && w.pattern.MatchString(msg) {
+			w.matched = true
+			return w
+		}
+	}
+	return nil
+}

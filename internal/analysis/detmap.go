@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetMap reports `range` statements over maps in the result-affecting
+// packages. Go randomizes map iteration order, so any map-range whose
+// body has order-dependent effects can change simulation results,
+// rendered tables, or diagnostic text from run to run — exactly the
+// nondeterminism the paper's paired-run methodology (and the golden
+// tests) forbid.
+//
+// Two shapes are allowed without annotation because they are
+// order-independent:
+//
+//   - collect loops, whose body only appends keys/values to a slice —
+//     provided the enclosing function also sorts that slice (the
+//     canonical "collect, sort, then iterate sorted" idiom); and
+//   - pure accumulation loops, whose body only performs commutative
+//     updates (x++, x--, x += e, and friends).
+//
+// Anything else needs an //odbgc:nondet-ok <reason> comment on the
+// range line or the line above it.
+var DetMap = &Analyzer{
+	Name: "detmap",
+	Doc: "flags map iteration with order-dependent effects in the packages " +
+		"that produce simulation results or rendered output",
+	Run: runDetMap,
+}
+
+const detmapMarker = "nondet-ok"
+
+func runDetMap(pass *Pass) error {
+	if !isResultPackage(pass) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if pass.InTestFile(rng.Pos()) {
+				return false
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(pass, file, rng)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMapRange(pass *Pass, file *ast.File, rng *ast.RangeStmt) {
+	var collectTargets []ast.Expr
+	pure := true
+	for _, stmt := range rng.Body.List {
+		target, kind := classifyMapRangeStmt(pass, stmt)
+		switch kind {
+		case stmtAppend:
+			collectTargets = append(collectTargets, target)
+		case stmtAccumulate:
+			// order-independent; nothing to record
+		case stmtOther:
+			pure = false
+		}
+		if !pure {
+			break
+		}
+	}
+
+	if !pure {
+		pass.Reportf(rng.Pos(), detmapMarker,
+			"map iteration with order-dependent effects; iterate sorted keys or annotate //odbgc:nondet-ok <reason>")
+		return
+	}
+	// A collect loop is only deterministic if the collected slice is
+	// sorted before anyone iterates it.
+	fn := enclosingFuncDecl(file, rng.Pos())
+	for _, target := range collectTargets {
+		if fn == nil || !sortedAfter(pass, fn, target, rng.End()) {
+			pass.Reportf(rng.Pos(), detmapMarker,
+				"map keys collected into %s but never sorted in this function; sort before iterating or annotate //odbgc:nondet-ok <reason>",
+				types.ExprString(target))
+			return
+		}
+	}
+}
+
+// stmtKind classifies one statement of a map-range body.
+type stmtKind int
+
+const (
+	stmtOther stmtKind = iota
+	stmtAppend
+	stmtAccumulate
+)
+
+// classifyMapRangeStmt recognizes the two order-independent statement
+// shapes: `s = append(s, ...)` (returning the collect target) and
+// commutative accumulation (x++, x--, x op= e for commutative op).
+func classifyMapRangeStmt(pass *Pass, stmt ast.Stmt) (ast.Expr, stmtKind) {
+	switch s := stmt.(type) {
+	case *ast.IncDecStmt:
+		return nil, stmtAccumulate
+	case *ast.AssignStmt:
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+			token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+			return nil, stmtAccumulate
+		case token.ASSIGN, token.DEFINE:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return nil, stmtOther
+			}
+			call, ok := s.Rhs[0].(*ast.CallExpr)
+			if !ok || !isBuiltin(pass, call.Fun, "append") || len(call.Args) == 0 {
+				return nil, stmtOther
+			}
+			if types.ExprString(call.Args[0]) != types.ExprString(s.Lhs[0]) {
+				return nil, stmtOther
+			}
+			return s.Lhs[0], stmtAppend
+		}
+	}
+	return nil, stmtOther
+}
+
+// sortedAfter reports whether fn contains, after pos, a call that sorts
+// target: sort.<Fn>(target, ...), slices.Sort*(target, ...), or a
+// method call target.Sort(...).
+func sortedAfter(pass *Pass, fn *ast.FuncDecl, target ast.Expr, pos token.Pos) bool {
+	want := types.ExprString(target)
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if pkg, ok := sel.X.(*ast.Ident); ok && isPackageName(pass, pkg, "sort", "slices") {
+			for _, arg := range call.Args {
+				a := arg
+				if u, ok := a.(*ast.UnaryExpr); ok && u.Op == token.AND {
+					a = u.X
+				}
+				if types.ExprString(a) == want {
+					found = true
+					return false
+				}
+			}
+			return true
+		}
+		if sel.Sel.Name == "Sort" && types.ExprString(sel.X) == want {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isBuiltin reports whether fun denotes the named predeclared function.
+func isBuiltin(pass *Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// isPackageName reports whether id names an imported package among the
+// given import path base names.
+func isPackageName(pass *Pass, id *ast.Ident, names ...string) bool {
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	for _, n := range names {
+		if pn.Imported().Path() == n {
+			return true
+		}
+	}
+	return false
+}

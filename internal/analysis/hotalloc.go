@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc is the static twin of the testing.AllocsPerRun guards: a
+// function whose doc comment carries //odbgc:hotpath may not contain
+// heap-allocating constructs. The runtime guards catch a regression only
+// on the exact inputs a test replays; this analyzer catches the
+// construct itself, on every branch, at vet time.
+//
+// Flagged constructs: map and slice composite literals, make, new,
+// append, variable-capturing closures, calls into package fmt, and
+// implicit or explicit conversions of concrete values to interface
+// types. An allocation that is deliberate — a lazily built sparse-map
+// fallback, an amortized append that the guards prove free in steady
+// state, a panic-path format — carries //odbgc:alloc-ok <reason> on its
+// line.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "forbids heap-allocating constructs in functions annotated " +
+		"//odbgc:hotpath",
+	Run: runHotAlloc,
+}
+
+const (
+	hotallocMarker = "alloc-ok"
+	// HotPathMarker annotates a function's doc comment to opt it into
+	// HotAlloc checking. Exported so the annotation/guard sync test and
+	// the analyzer agree on the spelling.
+	HotPathMarker = "//odbgc:hotpath"
+)
+
+// IsHotPath reports whether the function declaration's doc comment
+// carries the //odbgc:hotpath marker.
+func IsHotPath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), HotPathMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !IsHotPath(fn) {
+				continue
+			}
+			if pass.InTestFile(fn.Pos()) {
+				continue
+			}
+			checkHotFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			switch pass.TypesInfo.TypeOf(n).Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), hotallocMarker, "map literal allocates in hot path")
+			case *types.Slice:
+				pass.Reportf(n.Pos(), hotallocMarker, "slice literal allocates in hot path")
+			}
+		case *ast.FuncLit:
+			if capt := capturedVar(pass, fn, n); capt != "" {
+				pass.Reportf(n.Pos(), hotallocMarker,
+					"closure capturing %s allocates in hot path", capt)
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, n)
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, call *ast.CallExpr) {
+	switch {
+	case isBuiltin(pass, call.Fun, "make"):
+		pass.Reportf(call.Pos(), hotallocMarker, "make allocates in hot path")
+		return
+	case isBuiltin(pass, call.Fun, "new"):
+		pass.Reportf(call.Pos(), hotallocMarker, "new allocates in hot path")
+		return
+	case isBuiltin(pass, call.Fun, "append"):
+		pass.Reportf(call.Pos(), hotallocMarker,
+			"append may grow its backing array in hot path; preallocate or annotate //odbgc:alloc-ok <reason>")
+		return
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if pkg, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := pass.TypesInfo.Uses[pkg].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				pass.Reportf(call.Pos(), hotallocMarker, "fmt.%s allocates in hot path", sel.Sel.Name)
+				return
+			}
+		}
+	}
+	// Explicit conversion to an interface type: T(x) with T interface.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 && !isInterfaceValue(pass, call.Args[0]) {
+			pass.Reportf(call.Pos(), hotallocMarker,
+				"conversion of concrete value to interface allocates in hot path")
+		}
+		return
+	}
+	// Implicit conversions: concrete arguments passed to interface
+	// parameters box their value.
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through unboxed
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(pt) && !isInterfaceValue(pass, arg) {
+			pass.Reportf(arg.Pos(), hotallocMarker,
+				"passing concrete value as interface %s allocates in hot path", pt.String())
+		}
+	}
+}
+
+// isInterfaceValue reports whether the expression already has interface
+// type (or is the untyped nil), so passing it to an interface parameter
+// does not box.
+func isInterfaceValue(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return true // be conservative: do not report what we cannot type
+	}
+	if tv.IsNil() {
+		return true
+	}
+	return types.IsInterface(tv.Type)
+}
+
+// capturedVar returns the name of a variable declared in fn but outside
+// lit that lit's body references, or "" if the closure captures nothing.
+func capturedVar(pass *Pass, fn *ast.FuncDecl, lit *ast.FuncLit) string {
+	var captured string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured: declared inside the enclosing function (parameters
+		// included) but outside the literal itself. Package-level
+		// variables are shared, not captured.
+		if v.Pos() >= fn.Pos() && v.Pos() < fn.End() && (v.Pos() < lit.Pos() || v.Pos() > lit.End()) {
+			captured = v.Name()
+			return false
+		}
+		return true
+	})
+	return captured
+}

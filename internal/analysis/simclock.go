@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SimClock forbids ambient nondeterminism sources inside the simulation
+// packages: wall-clock reads, the global math/rand generator, and
+// environment variables. All randomness must flow through a seeded
+// *rand.Rand threaded from the configuration (workload.Config.Seed,
+// sim.Config), so that the same seed always produces the same trace and
+// the same results on any machine, regardless of time, GOMAXPROCS, or
+// shell environment.
+//
+// Constructing a seeded source (rand.New, rand.NewSource, rand.NewZipf)
+// is allowed; calling the package-level convenience functions that
+// consult the shared global generator is not. Intentional exceptions
+// carry //odbgc:nondet-ok <reason>.
+var SimClock = &Analyzer{
+	Name: "simclock",
+	Doc: "forbids time.Now, the global math/rand source, and environment " +
+		"reads inside simulation packages",
+	Run: runSimClock,
+}
+
+// simclockBanned maps import path -> banned top-level functions.
+var simclockBanned = map[string]map[string]bool{
+	"time": {
+		"Now": true, "Since": true, "Until": true, "Sleep": true,
+		"Tick": true, "After": true, "AfterFunc": true,
+		"NewTimer": true, "NewTicker": true,
+	},
+	"os": {
+		"Getenv": true, "LookupEnv": true, "Environ": true, "ExpandEnv": true,
+	},
+}
+
+// simclockRandAllowed are the math/rand package-level names that do not
+// touch the global generator: constructors for explicitly seeded
+// sources.
+var simclockRandAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+func runSimClock(pass *Pass) error {
+	if !isResultPackage(pass) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if pass.InTestFile(sel.Pos()) {
+				return false
+			}
+			pkgID, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pn.Imported().Path()
+			name := sel.Sel.Name
+			switch path {
+			case "math/rand", "math/rand/v2":
+				// Methods on *rand.Rand come through a value, not the
+				// package name, so any package-level function or
+				// variable here consults global state unless it is a
+				// seeded-source constructor.
+				if obj := pass.TypesInfo.Uses[sel.Sel]; obj != nil && !simclockRandAllowed[name] {
+					if _, isType := obj.(*types.TypeName); !isType {
+						pass.Reportf(sel.Pos(), detmapMarker,
+							"use of global %s.%s; thread a seeded *rand.Rand from the configuration instead", pn.Imported().Name(), name)
+					}
+				}
+			default:
+				if banned, ok := simclockBanned[path]; ok && banned[name] {
+					pass.Reportf(sel.Pos(), detmapMarker,
+						"%s.%s is nondeterministic between runs; simulation packages must not depend on it", pn.Imported().Name(), name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+// Package pagebuf is an arenaindex fixture: a miniature index-linked
+// arena with the same shape as the real frame arena (int32 prev/next
+// links, -1 nil sentinel, list heads beside the slice).
+package pagebuf
+
+type node struct {
+	val  int
+	prev int32
+	next int32
+}
+
+type ring struct {
+	nodes []node
+	head  int32
+}
+
+// push may reallocate the arena's backing array.
+func (r *ring) push(v int) {
+	r.nodes = append(r.nodes, node{val: v, prev: -1, next: -1})
+}
+
+// EndOfList confuses the 0 slot with the nil sentinel.
+func (r *ring) EndOfList(i int32) bool {
+	n := &r.nodes[i]
+	return n.next == 0 // want `compared to 0, which is a valid slot`
+}
+
+// Stale holds a pointer into the arena across a call that can grow it.
+func (r *ring) Stale(i int32, v int) int32 {
+	n := &r.nodes[i]
+	r.push(v)
+	return n.next // want `used after call to push, which grows nodes`
+}
+
+// Fresh re-indexes after growth, the correct order.
+func (r *ring) Fresh(i int32, v int) int32 {
+	r.push(v)
+	n := &r.nodes[i]
+	return n.next
+}
+
+// BadLiteral leaves the link fields at their zero value, silently
+// pointing the element at slot 0.
+func (r *ring) BadLiteral(v int) node {
+	return node{val: v} // want `leaves link field`
+}
+
+// ResetHead deliberately parks the head on slot 0 during rebuild; the
+// suppression records why.
+func (r *ring) ResetHead() {
+	r.head = 0 //odbgc:arena-ok rebuild fills the arena from slot 0 immediately after
+}

@@ -1,0 +1,72 @@
+// Package core is a kindswitch fixture. The package name matters for the
+// policy-registry rule, which keys on Name* string constants declared in
+// a package named core; the integer-enumeration rule keys on the type
+// alone.
+package core
+
+// Phase is a module-local integer enumeration.
+type Phase int
+
+const (
+	PhaseIdle Phase = iota
+	PhaseMark
+	PhaseSweep
+	numPhases // count sentinel; switches need not handle it
+)
+
+// Policy registry constants, mirroring core.Name*.
+const (
+	NameAlpha = "alpha"
+	NameBeta  = "beta"
+)
+
+// Describe skips PhaseSweep; the default clause does not excuse it.
+func Describe(p Phase) string {
+	switch p { // want `missing PhaseSweep`
+	case PhaseIdle:
+		return "idle"
+	case PhaseMark:
+		return "mark"
+	default:
+		return "?"
+	}
+}
+
+// Full covers every phase (the numPhases sentinel is exempt).
+func Full(p Phase) string {
+	switch p {
+	case PhaseIdle, PhaseMark, PhaseSweep:
+		return "known"
+	}
+	return "?"
+}
+
+// MarkOnly is deliberately partial; the suppression records why.
+func MarkOnly(p Phase) bool {
+	//odbgc:exhaustive-ok only the mark phase matters to this predicate
+	switch p {
+	case PhaseMark:
+		return true
+	}
+	return false
+}
+
+// Lookup misses NameBeta in the policy registry.
+func Lookup(name string) int {
+	switch name { // want `missing NameBeta`
+	case NameAlpha:
+		return 1
+	}
+	return 0
+}
+
+// LookupFull covers the whole registry.
+func LookupFull(name string) int {
+	switch name {
+	case NameAlpha:
+		return 1
+	case NameBeta:
+		return 2
+	}
+	return 0
+}

@@ -13,6 +13,7 @@ package check
 
 import (
 	"fmt"
+	"sort"
 
 	"odbgc/internal/heap"
 	"odbgc/internal/remset"
@@ -257,17 +258,20 @@ func Conservation(s *sim.Sim) error {
 // The activation identity assumes each activation collects at most one
 // partition (sim.Config.CollectPartitions ≤ 1), the paper's setting.
 func TriggerParity(results map[string][]sim.Result) error {
-	var refName string
-	var ref []sim.Result
-	for name, rs := range results {
-		if refName == "" || name < refName {
-			refName, ref = name, rs
-		}
+	// Iterate policies in sorted order so the first divergence reported
+	// is the same on every run.
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
 	}
-	for name, rs := range results {
-		if name == refName {
-			continue
-		}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil
+	}
+	refName := names[0]
+	ref := results[refName]
+	for _, name := range names[1:] {
+		rs := results[name]
 		if len(rs) != len(ref) {
 			return fmt.Errorf("check: %s ran %d seeds, %s ran %d", name, len(rs), refName, len(ref))
 		}

@@ -114,7 +114,12 @@ func TestFaultInjectionDetected(t *testing.T) {
 }
 
 // TestAuditOffZeroAllocs proves the audit wiring costs nothing when off:
-// steady-state read and modify events must not allocate.
+// steady-state read and modify events must not allocate. Sim.Emit carries
+// the //odbgc:hotpath annotation checked by the hotalloc analyzer;
+// TestHotpathAnnotationsMatchGuards in internal/analysis keeps the
+// annotation and this guard in sync via the declaration below.
+//
+//odbgc:allocguard sim.Sim.Emit
 func TestAuditOffZeroAllocs(t *testing.T) {
 	s := runInto(t, testSim(core.NameMutatedPartition), testWorkload())
 	var oid heap.OID

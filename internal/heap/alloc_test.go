@@ -6,6 +6,14 @@ import "testing"
 // and the oracle; these guards pin the steady-state allocation behavior the
 // dense structures were built for, so a regression shows up as a test
 // failure rather than a silent slowdown.
+//
+// The functions these guards exercise carry //odbgc:hotpath annotations
+// checked by the hotalloc analyzer; TestHotpathAnnotationsMatchGuards in
+// internal/analysis keeps the two sets in sync via the declarations below.
+//
+//odbgc:allocguard heap.Heap.Alloc heap.Heap.newObject heap.Heap.growTable heap.Heap.placeFor
+//odbgc:allocguard heap.Heap.residentAdd heap.Heap.residentRemove heap.Heap.Discard
+//odbgc:allocguard heap.Heap.WriteField heap.Oracle.Live
 
 func TestAllocSteadyStateZeroAllocs(t *testing.T) {
 	h := mustNew(t, testConfig())

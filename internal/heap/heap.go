@@ -265,19 +265,23 @@ type Grew struct {
 // grow" policy). A NilOID parent requests no placement affinity.
 //
 // Alloc returns ErrObjectTooLarge if size exceeds the partition size, and
-// panics if oid is already resident (trace corruption).
+// panics if oid is already resident (trace corruption). In steady state —
+// pool warm, table and resident slices at capacity — it must not allocate
+// (pinned by TestAllocDiscardZeroAllocs).
+//
+//odbgc:hotpath
 func (h *Heap) Alloc(oid OID, size int64, nfields int, parent OID) (*Object, Grew, error) {
 	if size <= 0 {
-		return nil, Grew{}, fmt.Errorf("heap: Alloc(%d): size %d must be positive", oid, size)
+		return nil, Grew{}, fmt.Errorf("heap: Alloc(%d): size %d must be positive", oid, size) //odbgc:alloc-ok cold error path
 	}
 	if size > h.cfg.PartitionBytes() {
-		return nil, Grew{}, fmt.Errorf("%w: %d > %d", ErrObjectTooLarge, size, h.cfg.PartitionBytes())
+		return nil, Grew{}, fmt.Errorf("%w: %d > %d", ErrObjectTooLarge, size, h.cfg.PartitionBytes()) //odbgc:alloc-ok cold error path
 	}
 	if oid >= maxDenseOID {
-		return nil, Grew{}, fmt.Errorf("%w: %d", ErrSparseOID, oid)
+		return nil, Grew{}, fmt.Errorf("%w: %d", ErrSparseOID, oid) //odbgc:alloc-ok cold error path
 	}
 	if h.Contains(oid) {
-		panic(fmt.Sprintf("heap: Alloc(%d): OID already resident", oid))
+		panic(fmt.Sprintf("heap: Alloc(%d): OID already resident", oid)) //odbgc:alloc-ok cold panic path
 	}
 
 	var grew Grew
@@ -306,19 +310,21 @@ func (h *Heap) Alloc(oid OID, size int64, nfields int, parent OID) (*Object, Gre
 
 // newObject takes an Object record from the recycle pool (or the Go heap)
 // and initializes it.
+//
+//odbgc:hotpath
 func (h *Heap) newObject(oid OID, size int64, nfields int) *Object {
 	var obj *Object
 	if n := len(h.pool); n > 0 {
 		obj = h.pool[n-1]
 		h.pool = h.pool[:n-1]
 	} else {
-		obj = new(Object)
+		obj = new(Object) //odbgc:alloc-ok pool miss; recycled thereafter
 	}
 	if cap(obj.Fields) >= nfields {
 		obj.Fields = obj.Fields[:nfields]
 		clear(obj.Fields)
 	} else {
-		obj.Fields = make([]OID, nfields)
+		obj.Fields = make([]OID, nfields) //odbgc:alloc-ok field slice grows only past the recycled capacity
 	}
 	obj.OID = oid
 	obj.Size = size
@@ -329,6 +335,8 @@ func (h *Heap) newObject(oid OID, size int64, nfields int) *Object {
 
 // growTable extends the object table to cover oid, doubling so growth is
 // amortized O(1).
+//
+//odbgc:hotpath
 func (h *Heap) growTable(oid OID) {
 	n := len(h.table) * 2
 	if n <= int(oid) {
@@ -337,19 +345,23 @@ func (h *Heap) growTable(oid OID) {
 	if n < 64 {
 		n = 64
 	}
-	grown := make([]*Object, n)
+	grown := make([]*Object, n) //odbgc:alloc-ok amortized doubling of the object table
 	copy(grown, h.table)
 	h.table = grown
 }
 
 // residentAdd appends obj to p's resident set, recording its slot.
+//
+//odbgc:hotpath
 func (h *Heap) residentAdd(p *Partition, obj *Object) {
 	obj.resIdx = int32(len(p.objects))
-	p.objects = append(p.objects, obj.OID)
+	p.objects = append(p.objects, obj.OID) //odbgc:alloc-ok amortized slice growth
 }
 
 // residentRemove removes obj from p's resident set by swapping the last
 // element into its slot.
+//
+//odbgc:hotpath
 func (h *Heap) residentRemove(p *Partition, obj *Object) {
 	i := obj.resIdx
 	last := int32(len(p.objects) - 1)
@@ -365,6 +377,8 @@ func (h *Heap) residentRemove(p *Partition, obj *Object) {
 // fits there, otherwise the partition with the most free space (ties toward
 // the lowest ID). The reserved empty partition is never an allocation
 // target.
+//
+//odbgc:hotpath
 func (h *Heap) placeFor(size int64, parent OID) *Partition {
 	partBytes := h.cfg.PartitionBytes()
 	if parent != NilOID {
@@ -387,14 +401,17 @@ func (h *Heap) placeFor(size int64, parent OID) *Partition {
 
 // WriteField stores target into field f of src and returns the previous
 // value. It is the raw heap mutation; the write barrier in package gc wraps
-// it with remembered-set and policy bookkeeping.
+// it with remembered-set and policy bookkeeping. It must not allocate
+// (pinned by TestWriteFieldZeroAllocs).
+//
+//odbgc:hotpath
 func (h *Heap) WriteField(src OID, f int, target OID) OID {
 	obj := h.Get(src)
 	if obj == nil {
-		panic(fmt.Sprintf("heap: WriteField(%d): no such object", src))
+		panic(fmt.Sprintf("heap: WriteField(%d): no such object", src)) //odbgc:alloc-ok cold panic path
 	}
 	if f < 0 || f >= len(obj.Fields) {
-		panic(fmt.Sprintf("heap: WriteField(%d): field %d out of range [0,%d)", src, f, len(obj.Fields)))
+		panic(fmt.Sprintf("heap: WriteField(%d): field %d out of range [0,%d)", src, f, len(obj.Fields))) //odbgc:alloc-ok cold panic path
 	}
 	old := obj.Fields[f]
 	obj.Fields[f] = target
@@ -432,18 +449,20 @@ func (h *Heap) Move(oid OID, dst PartitionID) {
 // Like Move, it does not give space back to the source partition;
 // ResetPartition does. The *Object is invalidated: the next Alloc may
 // reuse it.
+//
+//odbgc:hotpath
 func (h *Heap) Discard(oid OID) {
 	obj := h.Get(oid)
 	if obj == nil {
-		panic(fmt.Sprintf("heap: Discard(%d): no such object", oid))
+		panic(fmt.Sprintf("heap: Discard(%d): no such object", oid)) //odbgc:alloc-ok cold panic path
 	}
 	if obj.root {
-		panic(fmt.Sprintf("heap: Discard(%d): object is a root", oid))
+		panic(fmt.Sprintf("heap: Discard(%d): object is a root", oid)) //odbgc:alloc-ok cold panic path
 	}
 	h.residentRemove(h.parts[obj.Partition], obj)
 	h.table[oid] = nil
 	h.numObjects--
-	h.pool = append(h.pool, obj)
+	h.pool = append(h.pool, obj) //odbgc:alloc-ok amortized pool growth
 }
 
 // ResetPartition marks a fully evacuated partition as empty again. It

@@ -52,7 +52,10 @@ func (s LiveSet) ForEach(fn func(OID)) {
 
 // Live returns the set of OIDs reachable from the root set. The returned
 // view is scratch space owned by the oracle and is invalidated by the next
-// oracle call.
+// oracle call. With warm scratch buffers a traversal must not allocate
+// (pinned by TestOracleLiveZeroAllocs).
+//
+//odbgc:hotpath
 func (o *Oracle) Live() LiveSet {
 	o.epoch++
 	if o.epoch == 0 { // uint32 wraparound: old stamps become ambiguous
@@ -60,17 +63,17 @@ func (o *Oracle) Live() LiveSet {
 		o.epoch = 1
 	}
 	if n := int(o.h.OIDBound()); n > len(o.marks) {
-		o.marks = append(o.marks, make([]uint32, n-len(o.marks))...)
+		o.marks = append(o.marks, make([]uint32, n-len(o.marks))...) //odbgc:alloc-ok mark store grows only when the OID bound rises
 	}
 	o.list = o.list[:0]
 	o.queue = o.queue[:0]
-	o.h.Roots(func(r OID) {
+	o.h.Roots(func(r OID) { //odbgc:alloc-ok non-escaping closure; Roots does not retain fn
 		if o.marks[r] == o.epoch {
 			return
 		}
 		o.marks[r] = o.epoch
-		o.list = append(o.list, r)
-		o.queue = append(o.queue, r)
+		o.list = append(o.list, r)   //odbgc:alloc-ok amortized scratch growth
+		o.queue = append(o.queue, r) //odbgc:alloc-ok amortized scratch growth
 	})
 	for len(o.queue) > 0 {
 		oid := o.queue[len(o.queue)-1]
@@ -87,8 +90,8 @@ func (o *Oracle) Live() LiveSet {
 				continue
 			}
 			o.marks[f] = o.epoch
-			o.list = append(o.list, f)
-			o.queue = append(o.queue, f)
+			o.list = append(o.list, f)   //odbgc:alloc-ok amortized scratch growth
+			o.queue = append(o.queue, f) //odbgc:alloc-ok amortized scratch growth
 		}
 	}
 	return LiveSet{marks: o.marks, epoch: o.epoch, oids: o.list}

@@ -6,6 +6,15 @@ import "testing"
 // access of the paper's cost model goes through touch. In steady state —
 // once the frame arena is in use and the dense page index has grown to
 // cover the address space — neither hits nor misses may allocate.
+//
+// The functions these guards exercise carry //odbgc:hotpath annotations
+// checked by the hotalloc analyzer; TestHotpathAnnotationsMatchGuards in
+// internal/analysis keeps the two sets in sync via the declarations below.
+//
+//odbgc:allocguard pagebuf.Buffer.touch pagebuf.Buffer.evict pagebuf.Buffer.clockEvict
+//odbgc:allocguard pagebuf.Buffer.unlink pagebuf.Buffer.pushFront pagebuf.Buffer.pushBack pagebuf.Buffer.release
+//odbgc:allocguard pagebuf.pageIndex.get pagebuf.pageIndex.set pagebuf.pageIndex.del
+//odbgc:allocguard pagebuf.pageSet.has pagebuf.pageSet.add
 
 func TestPageBufHitZeroAllocs(t *testing.T) {
 	b, err := New(8)

@@ -1,6 +1,9 @@
 package pagebuf
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // CheckInvariants verifies the buffer's frame-arena structure — the
 // replacement list, the free chain, and the dense page index — and
@@ -99,7 +102,15 @@ func (b *Buffer) CheckInvariants() error {
 		}
 		indexed++
 	}
-	for p, i := range b.idx.sparse {
+	// Walk the sparse fallback in sorted page order so the first
+	// violation reported does not depend on map iteration order.
+	sparsePages := make([]PageID, 0, len(b.idx.sparse))
+	for p := range b.idx.sparse {
+		sparsePages = append(sparsePages, p)
+	}
+	slices.Sort(sparsePages)
+	for _, p := range sparsePages {
+		i := b.idx.sparse[p]
 		if int(i) >= len(b.frames) || state[i] != stateListed || b.frames[i].page != p {
 			return fmt.Errorf("pagebuf: sparse index maps page %d to frame %d, which does not cache it", p, i)
 		}

@@ -53,6 +53,8 @@ func (b *Buffer) Replacement() Replacement { return b.replacement }
 // clearing reference bits along the way, and evicts that frame. Under
 // CLOCK the frame list is the ring in insertion order; the hand wraps
 // from the tail back to the head.
+//
+//odbgc:hotpath
 func (b *Buffer) clockEvict(actor Actor) {
 	if b.hand == nilFrame {
 		b.hand = b.head

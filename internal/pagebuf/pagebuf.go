@@ -178,6 +178,8 @@ func (b *Buffer) WriteRange(first, last PageID, actor Actor) {
 }
 
 // unlink removes frame i from the replacement list.
+//
+//odbgc:hotpath
 func (b *Buffer) unlink(i int32) {
 	f := &b.frames[i]
 	if f.prev != nilFrame {
@@ -194,6 +196,8 @@ func (b *Buffer) unlink(i int32) {
 }
 
 // pushFront links frame i at the head of the replacement list.
+//
+//odbgc:hotpath
 func (b *Buffer) pushFront(i int32) {
 	f := &b.frames[i]
 	f.prev, f.next = nilFrame, b.head
@@ -206,6 +210,8 @@ func (b *Buffer) pushFront(i int32) {
 }
 
 // pushBack links frame i at the tail of the replacement list.
+//
+//odbgc:hotpath
 func (b *Buffer) pushBack(i int32) {
 	f := &b.frames[i]
 	f.prev, f.next = b.tail, nilFrame
@@ -218,12 +224,19 @@ func (b *Buffer) pushBack(i int32) {
 }
 
 // release returns frame i to the free chain after it has been unlinked.
+//
+//odbgc:hotpath
 func (b *Buffer) release(i int32) {
 	b.frames[i].next = b.free
 	b.free = i
 	b.n--
 }
 
+// touch is the buffer's hit/miss fast path: every simulated page access
+// of the cost model lands here, so in steady state neither branch may
+// allocate (the AllocsPerRun guards in alloc_test.go pin this).
+//
+//odbgc:hotpath
 func (b *Buffer) touch(p PageID, write bool, actor Actor) {
 	st := &b.stats.ByActor[actor]
 	st.Accesses++
@@ -273,6 +286,8 @@ func (b *Buffer) touch(p PageID, write bool, actor Actor) {
 
 // evict removes the least recently used page, charging a disk write to
 // actor if the page is dirty.
+//
+//odbgc:hotpath
 func (b *Buffer) evict(actor Actor) {
 	i := b.tail
 	f := &b.frames[i]
@@ -331,6 +346,7 @@ type pageIndex struct {
 	sparse map[PageID]int32
 }
 
+//odbgc:hotpath
 func (x *pageIndex) get(p PageID) int32 {
 	if uint64(p) < uint64(len(x.dense)) {
 		return x.dense[p]
@@ -343,6 +359,7 @@ func (x *pageIndex) get(p PageID) int32 {
 	return nilFrame
 }
 
+//odbgc:hotpath
 func (x *pageIndex) set(p PageID, i int32) {
 	if uint64(p) < maxDensePages {
 		if int(p) >= len(x.dense) {
@@ -352,11 +369,12 @@ func (x *pageIndex) set(p PageID, i int32) {
 		return
 	}
 	if x.sparse == nil {
-		x.sparse = make(map[PageID]int32)
+		x.sparse = make(map[PageID]int32) //odbgc:alloc-ok one-time lazy fallback for page IDs beyond maxDensePages
 	}
 	x.sparse[p] = i
 }
 
+//odbgc:hotpath
 func (x *pageIndex) del(p PageID) {
 	if uint64(p) < uint64(len(x.dense)) {
 		x.dense[p] = nilFrame
@@ -372,6 +390,7 @@ type pageSet struct {
 	sparse map[PageID]struct{}
 }
 
+//odbgc:hotpath
 func (s *pageSet) has(p PageID) bool {
 	if uint64(p) < uint64(len(s.dense)) {
 		return s.dense[p]
@@ -383,6 +402,7 @@ func (s *pageSet) has(p PageID) bool {
 	return false
 }
 
+//odbgc:hotpath
 func (s *pageSet) add(p PageID) {
 	if uint64(p) < maxDensePages {
 		if int(p) >= len(s.dense) {
@@ -392,7 +412,7 @@ func (s *pageSet) add(p PageID) {
 		return
 	}
 	if s.sparse == nil {
-		s.sparse = make(map[PageID]struct{})
+		s.sparse = make(map[PageID]struct{}) //odbgc:alloc-ok one-time lazy fallback for page IDs beyond maxDensePages
 	}
 	s.sparse[p] = struct{}{}
 }

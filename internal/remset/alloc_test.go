@@ -8,6 +8,14 @@ import (
 
 // PointerWrite is the write-barrier fast path — it runs for every pointer
 // store the simulator replays — so in steady state it must not allocate.
+//
+// The functions this guard exercises carry //odbgc:hotpath annotations
+// checked by the hotalloc analyzer; TestHotpathAnnotationsMatchGuards in
+// internal/analysis keeps the two sets in sync via the declarations below.
+//
+//odbgc:allocguard remset.Table.PointerWrite remset.Table.add remset.Table.remove
+//odbgc:allocguard remset.Table.inAt remset.Table.outAt remset.Table.countAt
+//odbgc:allocguard remset.inSet.add remset.inSet.remove remset.outSet.add remset.outSet.remove
 func TestPointerWriteZeroAllocs(t *testing.T) {
 	h, src, target := buildHeap(t)
 	tab := New(h)

@@ -67,18 +67,20 @@ type inSet struct {
 	pos     map[uint64]int32
 }
 
+//odbgc:hotpath
 func (s *inSet) add(k uint64, target heap.OID) bool {
 	if s.pos == nil {
-		s.pos = make(map[uint64]int32)
+		s.pos = make(map[uint64]int32) //odbgc:alloc-ok one-time lazy index for a partition's first entry
 	}
 	if _, dup := s.pos[k]; dup {
 		return false
 	}
 	s.pos[k] = int32(len(s.entries))
-	s.entries = append(s.entries, inEntry{key: k, target: target})
+	s.entries = append(s.entries, inEntry{key: k, target: target}) //odbgc:alloc-ok amortized slice growth
 	return true
 }
 
+//odbgc:hotpath
 func (s *inSet) remove(k uint64) bool {
 	i, ok := s.pos[k]
 	if !ok {
@@ -100,14 +102,16 @@ type outSet struct {
 	pos  map[heap.OID]int32
 }
 
+//odbgc:hotpath
 func (s *outSet) add(oid heap.OID) {
 	if s.pos == nil {
-		s.pos = make(map[heap.OID]int32)
+		s.pos = make(map[heap.OID]int32) //odbgc:alloc-ok one-time lazy index for a partition's first out-pointer
 	}
 	s.pos[oid] = int32(len(s.oids))
-	s.oids = append(s.oids, oid)
+	s.oids = append(s.oids, oid) //odbgc:alloc-ok amortized slice growth
 }
 
+//odbgc:hotpath
 func (s *outSet) remove(oid heap.OID) {
 	i, ok := s.pos[oid]
 	if !ok {
@@ -145,23 +149,29 @@ func New(h *heap.Heap) *Table {
 }
 
 // inAt returns the remembered set of p, growing the store on demand.
+//
+//odbgc:hotpath
 func (t *Table) inAt(p heap.PartitionID) *inSet {
 	for int(p) >= len(t.in) {
-		t.in = append(t.in, inSet{})
+		t.in = append(t.in, inSet{}) //odbgc:alloc-ok grows once per new partition, not per write
 	}
 	return &t.in[p]
 }
 
 // outAt returns the out-set of p, growing the store on demand.
+//
+//odbgc:hotpath
 func (t *Table) outAt(p heap.PartitionID) *outSet {
 	for int(p) >= len(t.out) {
-		t.out = append(t.out, outSet{})
+		t.out = append(t.out, outSet{}) //odbgc:alloc-ok grows once per new partition, not per write
 	}
 	return &t.out[p]
 }
 
 // countAt returns a pointer to oid's out-count, growing the store on
 // demand.
+//
+//odbgc:hotpath
 func (t *Table) countAt(oid heap.OID) *int32 {
 	if int(oid) >= len(t.outCount) {
 		n := len(t.outCount) * 2
@@ -171,7 +181,7 @@ func (t *Table) countAt(oid heap.OID) *int32 {
 		if n < 64 {
 			n = 64
 		}
-		grown := make([]int32, n)
+		grown := make([]int32, n) //odbgc:alloc-ok amortized doubling of the out-count store
 		copy(grown, t.outCount)
 		t.outCount = grown
 	}
@@ -181,6 +191,10 @@ func (t *Table) countAt(oid heap.OID) *int32 {
 // PointerWrite records the effect of storing new into field f of src,
 // whose previous value was old. It must be called at the write barrier for
 // every pointer store, after the heap mutation. Either OID may be nil.
+// It runs at every simulated pointer store, so the steady-state path must
+// not allocate (pinned by TestPointerWriteZeroAllocs).
+//
+//odbgc:hotpath
 func (t *Table) PointerWrite(src heap.OID, f int, old, new heap.OID) {
 	srcPart := t.h.Get(src).Partition
 	if old != heap.NilOID {
@@ -195,9 +209,10 @@ func (t *Table) PointerWrite(src heap.OID, f int, old, new heap.OID) {
 	}
 }
 
+//odbgc:hotpath
 func (t *Table) add(target heap.PartitionID, src heap.OID, f int, to heap.OID, srcPart heap.PartitionID) {
 	if !t.inAt(target).add(packKey(src, f), to) {
-		panic(fmt.Sprintf("remset: duplicate entry %+v into partition %d", Entry{src, f}, target))
+		panic(fmt.Sprintf("remset: duplicate entry %+v into partition %d", Entry{src, f}, target)) //odbgc:alloc-ok cold panic path
 	}
 	cnt := t.countAt(src)
 	*cnt++
@@ -206,15 +221,16 @@ func (t *Table) add(target heap.PartitionID, src heap.OID, f int, to heap.OID, s
 	}
 }
 
+//odbgc:hotpath
 func (t *Table) remove(target heap.PartitionID, src heap.OID, f int, srcPart heap.PartitionID) {
 	if !t.inAt(target).remove(packKey(src, f)) {
-		panic(fmt.Sprintf("remset: removing absent entry %+v from partition %d", Entry{src, f}, target))
+		panic(fmt.Sprintf("remset: removing absent entry %+v from partition %d", Entry{src, f}, target)) //odbgc:alloc-ok cold panic path
 	}
 	cnt := t.countAt(src)
 	*cnt--
 	switch {
 	case *cnt < 0:
-		panic(fmt.Sprintf("remset: negative out-count for %d", src))
+		panic(fmt.Sprintf("remset: negative out-count for %d", src)) //odbgc:alloc-ok cold panic path
 	case *cnt == 0:
 		t.outAt(srcPart).remove(src)
 	}
@@ -398,12 +414,28 @@ func (t *Table) Audit() string {
 		})
 	}
 
-	for pid, set := range want {
-		for e, r := range set {
+	// Iterate the brute-force sets in sorted order so the first
+	// inconsistency named is identical on every run (map iteration
+	// order is randomized).
+	wantPids := make([]heap.PartitionID, 0, len(want))
+	for pid := range want {
+		wantPids = append(wantPids, pid)
+	}
+	slices.Sort(wantPids)
+	for _, pid := range wantPids {
+		set := want[pid]
+		keys := make([]uint64, 0, len(set))
+		for e := range set {
+			keys = append(keys, packKey(e.Src, e.Field))
+		}
+		slices.Sort(keys)
+		for _, k := range keys {
+			e := unpackKey(k)
+			r := set[e]
 			if int(pid) >= len(t.in) {
 				return fmt.Sprintf("missing entry %+v into partition %d", e, pid)
 			}
-			i, ok := t.in[pid].pos[packKey(e.Src, e.Field)]
+			i, ok := t.in[pid].pos[k]
 			if !ok {
 				return fmt.Sprintf("missing entry %+v into partition %d", e, pid)
 			}
@@ -419,8 +451,20 @@ func (t *Table) Audit() string {
 			}
 		}
 	}
-	for pid, outs := range wantOut {
-		for oid, n := range outs {
+	outPids := make([]heap.PartitionID, 0, len(wantOut))
+	for pid := range wantOut {
+		outPids = append(outPids, pid)
+	}
+	slices.Sort(outPids)
+	for _, pid := range outPids {
+		outs := wantOut[pid]
+		oids := make([]heap.OID, 0, len(outs))
+		for oid := range outs {
+			oids = append(oids, oid)
+		}
+		slices.Sort(oids)
+		for _, oid := range oids {
+			n := outs[oid]
 			member := false
 			if int(pid) < len(t.out) {
 				_, member = t.out[pid].pos[oid]

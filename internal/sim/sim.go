@@ -302,10 +302,15 @@ func (s *Sim) CollectorLifetime() gc.CollectorStats { return s.col.Lifetime() }
 // MutatorStats returns the mutator counters for the current window.
 func (s *Sim) MutatorStats() gc.MutatorStats { return s.mut.Stats() }
 
-// Emit applies one application event, implementing trace.Sink.
+// Emit applies one application event, implementing trace.Sink. With
+// auditing off and the time series disabled, the steady-state event loop
+// must not allocate (pinned by the Emit AllocsPerRun guard in
+// internal/check).
+//
+//odbgc:hotpath
 func (s *Sim) Emit(e trace.Event) error {
 	if s.finished {
-		return fmt.Errorf("sim: Emit after Finish")
+		return fmt.Errorf("sim: Emit after Finish") //odbgc:alloc-ok cold error path
 	}
 	if err := e.Validate(); err != nil {
 		return err

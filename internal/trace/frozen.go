@@ -109,7 +109,10 @@ func (f *Frozen) Replay(sink Sink) error { return f.ReplayHook(sink, -1, nil) }
 // after exactly `at` events have been delivered (a negative at or nil
 // hook disables the callback), with the same semantics as
 // Buffer.ReplayHook. The replay loop performs no decoding and no heap
-// allocation: each event is reassembled from sequential column reads.
+// allocation: each event is reassembled from sequential column reads
+// (pinned by the frozen-replay AllocsPerRun guard).
+//
+//odbgc:hotpath
 func (f *Frozen) ReplayHook(sink Sink, at int64, hook func()) error {
 	if hook != nil && at == 0 {
 		hook()

@@ -102,7 +102,12 @@ func TestFrozenSizeBytes(t *testing.T) {
 }
 
 // Frozen replay is the per-event fast path of every cached-trace
-// simulation; a replay step must not allocate.
+// simulation; a replay step must not allocate. ReplayHook carries the
+// //odbgc:hotpath annotation checked by the hotalloc analyzer;
+// TestHotpathAnnotationsMatchGuards in internal/analysis keeps the
+// annotation and this guard in sync via the declaration below.
+//
+//odbgc:allocguard trace.Frozen.ReplayHook
 func TestFrozenReplayZeroAllocs(t *testing.T) {
 	b := benchBuffer(t, 256)
 	f, err := b.Freeze()
