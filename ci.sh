@@ -25,14 +25,26 @@ go test -race ./internal/sim ./internal/gc
 # orchestration (worker pool + shared cache) and the cache's concurrent
 # generation paths.
 go test -race -run 'Suite|Scheduler|TraceCache|RunRecorded' ./internal/experiments ./internal/workload
-# Codec fuzz smoke: the packed decoder and the columnar freeze must error,
-# never panic, on truncated or corrupted buffers.
+# Codec fuzz smoke: the packed decoder, the columnar freeze, and the
+# chunked codec must error, never panic, on truncated or corrupted input.
 go test -run '^$' -fuzz '^FuzzDecodeEvent$' -fuzztime 5s ./internal/trace
 go test -run '^$' -fuzz '^FuzzFreeze$' -fuzztime 5s ./internal/trace
+go test -run '^$' -fuzz '^FuzzChunkCodec$' -fuzztime 5s ./internal/trace
 # Audited-simulator fuzz smoke: random valid event streams through a
 # simulator running the full invariant catalog after every collection.
 go test -run '^$' -fuzz '^FuzzAuditedSim$' -fuzztime 5s ./internal/check
 # Differential self-check: every policy audited and re-run through the
-# slow reference paths (packed/frozen, cached/fresh, serial/parallel,
-# eager/buffered barrier); any divergence or invariant violation fails.
+# slow reference paths (packed/frozen, streamed/frozen, cached/fresh,
+# serial/parallel, eager/buffered barrier); any divergence or invariant
+# violation fails.
 go run ./cmd/experiments -selfcheck -short -q
+# Streaming smoke: generate a ~5M-event chunked trace and replay it into
+# a full simulation under a hard memory ceiling far below the decoded
+# trace's in-memory footprint — proof the streamed path holds its
+# constant-memory claim end to end. (The generator and the simulator's
+# object table fit comfortably; a whole-trace load would not.)
+stream_tmp=$(mktemp -d)
+trap 'rm -rf "$stream_tmp"' EXIT
+go run ./cmd/tracegen -o "$stream_tmp/stream.odbgcck" -format chunked -alloc 50000000
+GOMEMLIMIT=192MiB go run ./cmd/gcsim -trace "$stream_tmp/stream.odbgcck"
+GOMEMLIMIT=64MiB go run ./cmd/traceinfo -chunk 0 "$stream_tmp/stream.odbgcck"

@@ -9,6 +9,7 @@
 //	go run ./cmd/benchrun -label after -bench 'Table2Throughput|CollectorOnly'
 //	go run ./cmd/benchrun -suite
 //	go run ./cmd/benchrun -pagebuf
+//	go run ./cmd/benchrun -stream
 //
 // -suite is a preset for the orchestration benchmark: it runs
 // BenchmarkSuiteWallClock (serial vs serial+cache vs parallel+cache) in
@@ -21,6 +22,15 @@
 // the usual -benchtime 2x, merging both into
 // results/bench/BENCH_<label>.json (label defaults to "pagebuf"); only
 // -label, -count, and -out override.
+//
+// -stream is a preset for the chunked streaming pipeline: it generates a
+// 100M+ event chunked trace with cmd/tracegen (pipelined chunk encoding),
+// drains it in-process through the prefetching ChunkStream replay, and
+// replays it into a full simulation with cmd/gcsim -trace, recording
+// events/sec and peak RSS for each leg into results/bench/BENCH_stream.json.
+// The trace lives in a temp directory and is deleted afterwards.
+// -stream-events overrides the target event count (for quick checks);
+// -label and -out still override.
 //
 // The file is written to -out (default ".") as BENCH_<label>.json and holds
 // one record per benchmark: name, iterations, ns/op, B/op, allocs/op, and
@@ -86,9 +96,25 @@ func main() {
 	out := flag.String("out", ".", "directory for the output file")
 	suite := flag.Bool("suite", false, "preset: record the suite wall-clock benchmark to results/bench/BENCH_suite.json")
 	pagebuf := flag.Bool("pagebuf", false, "preset: record the page-buffer and frozen-replay fast-path benchmarks plus Table2/CollectorOnly to results/bench/BENCH_<label>.json")
+	stream := flag.Bool("stream", false, "preset: record the chunked streaming pipeline (generate, drain, simulate a 100M+ event trace) to results/bench/BENCH_stream.json")
+	streamEvents := flag.Int64("stream-events", 110_000_000, "target event count for the -stream preset")
 	flag.Parse()
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	if *stream {
+		if !set["label"] {
+			*label = "stream"
+		}
+		if !set["out"] {
+			*out = "results/bench"
+		}
+		if err := runStreamPreset(*label, *out, *streamEvents); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrun: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var groups []group
 	switch {

@@ -1,0 +1,222 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"odbgc/internal/trace"
+)
+
+// The -stream preset measures the three legs of the chunked streaming
+// pipeline on one large trace:
+//
+//   - generate: cmd/tracegen -format chunked, chunk encoding pipelined
+//     with file I/O on a background writer;
+//   - drain: in-process ChunkStream replay (read, CRC, columnar decode
+//     on the prefetch goroutine; zero-alloc drain on this one) — the
+//     pure streaming path, whose resident set is two chunks no matter
+//     how long the trace is;
+//   - simulate: cmd/gcsim -trace, a full partitioned-GC simulation fed
+//     by the streamed trace.
+//
+// Each leg records events/sec and peak RSS. The generator's and
+// simulator's memory scale with their models (live trees, object
+// table), not with the trace; the drain leg's RSS is the constant-
+// memory claim itself: benchrun's whole process stays tens of MB while
+// a multi-hundred-MB trace streams through it.
+
+// streamLiveBytes keeps the generator's in-memory tree model at the
+// paper's default scale regardless of how long the trace runs.
+const streamLiveBytes = 4_500_000
+
+// runStreamPreset builds the CLI tools, calibrates how many events the
+// workload emits per allocated byte, generates a trace of at least
+// targetEvents events, then measures the three legs and writes
+// BENCH_<label>.json to outDir.
+func runStreamPreset(label, outDir string, targetEvents int64) error {
+	tmp, err := os.MkdirTemp("", "benchrun-stream")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	tracegenBin := filepath.Join(tmp, "tracegen")
+	gcsimBin := filepath.Join(tmp, "gcsim")
+	for bin, pkg := range map[string]string{tracegenBin: "./cmd/tracegen", gcsimBin: "./cmd/gcsim"} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			return fmt.Errorf("building %s: %w", pkg, err)
+		}
+	}
+
+	// Leg 1: pipelined chunked generation. Events-per-allocated-byte is
+	// not constant across scales — reads come from traversals of the
+	// fixed-size live set while creates scale with the allocation budget,
+	// so short runs are much read-denser than long ones. Calibrate
+	// iteratively: start small, fit events(alloc) as an affine function
+	// of the last two runs, and regenerate until the target is met. The
+	// final (successful) run is the measured leg.
+	genPath := filepath.Join(tmp, "stream.odbgcck")
+	var (
+		genDur         time.Duration
+		genRSS, events int64
+		s              *trace.ChunkStream
+		alloc          int64 = 20_000_000
+		prevAlloc      int64
+		prevEvents     int64
+	)
+	const maxAttempts = 6
+	for attempt := 1; ; attempt++ {
+		genDur, genRSS, err = timedExec(tracegenBin, "-o", genPath, "-format", "chunked",
+			"-live", fmt.Sprint(streamLiveBytes), "-alloc", fmt.Sprint(alloc),
+			"-max-events", fmt.Sprint(4*targetEvents))
+		if err != nil {
+			return fmt.Errorf("generation run: %w", err)
+		}
+		if s, err = trace.OpenChunkStream(genPath); err != nil {
+			return err
+		}
+		events = s.Len()
+		if events >= targetEvents {
+			break
+		}
+		if attempt == maxAttempts {
+			return fmt.Errorf("generated trace has %d events after %d calibration rounds, below the %d target",
+				events, maxAttempts, targetEvents)
+		}
+		// Solve a + b*alloc = 1.1*target from the last two (alloc,
+		// events) points; with only one point, assume proportionality.
+		next := int64(1.1 * float64(targetEvents) * float64(alloc) / float64(events))
+		if prevAlloc > 0 && events > prevEvents {
+			b := float64(events-prevEvents) / float64(alloc-prevAlloc)
+			a := float64(events) - b*float64(alloc)
+			next = int64((1.1*float64(targetEvents) - a) / b)
+		}
+		prevAlloc, prevEvents = alloc, events
+		if next < alloc*3/2 {
+			next = alloc * 3 / 2
+		}
+		alloc = next
+		fmt.Fprintf(os.Stderr, "benchrun: calibration round %d: %d events at -alloc %d; retrying at %d\n",
+			attempt, events, prevAlloc, alloc)
+	}
+	var benchmarks []Benchmark
+	fmt.Fprintf(os.Stderr, "benchrun: generated %d events, %d chunks, %.1f MB\n",
+		events, s.Chunks(), float64(s.SizeBytes())/(1<<20))
+	benchmarks = append(benchmarks, streamBench("StreamGenerate", events, genDur, genRSS, s))
+
+	// Leg 2: in-process streaming drain at two chunks of resident memory.
+	var count countingSink
+	drainStart := time.Now()
+	if err := s.Replay(&count); err != nil {
+		return fmt.Errorf("drain run: %w", err)
+	}
+	drainDur := time.Since(drainStart)
+	if int64(count) != events {
+		return fmt.Errorf("drain delivered %d of %d events", count, events)
+	}
+	benchmarks = append(benchmarks, streamBench("StreamDrain", events, drainDur, selfMaxRSS(), s))
+
+	// Leg 3: full simulation fed by the streamed trace.
+	simDur, simRSS, err := timedExec(gcsimBin, "-trace", genPath)
+	if err != nil {
+		return fmt.Errorf("simulation run: %w", err)
+	}
+	benchmarks = append(benchmarks, streamBench("StreamSimReplay", events, simDur, simRSS, s))
+
+	report := Report{
+		Label:      label,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Packages:   "cmd/tracegen cmd/gcsim internal/trace",
+		BenchRegex: "stream preset",
+		Benchtime:  "1x",
+		Count:      1,
+		Benchmarks: benchmarks,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(outDir, "BENCH_"+label+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(report.Benchmarks))
+	return nil
+}
+
+// streamBench renders one leg as a Benchmark record: ns per event plus
+// throughput, peak memory, and trace-shape metrics.
+func streamBench(name string, events int64, dur time.Duration, rssBytes int64, s *trace.ChunkStream) Benchmark {
+	return Benchmark{
+		Name:       name,
+		Iterations: events,
+		NsPerOp:    float64(dur.Nanoseconds()) / float64(events),
+		Metrics: map[string]float64{
+			"events":          float64(events),
+			"events_per_sec":  float64(events) / dur.Seconds(),
+			"wall_sec":        dur.Seconds(),
+			"max_rss_mb":      float64(rssBytes) / (1 << 20),
+			"trace_mb":        float64(s.SizeBytes()) / (1 << 20),
+			"chunks":          float64(s.Chunks()),
+			"resident_budget": float64(s.ResidentBytes()),
+		},
+	}
+}
+
+// countingSink counts replayed events and discards them.
+type countingSink int64
+
+func (c *countingSink) Emit(trace.Event) error {
+	*c++
+	return nil
+}
+
+// timedExec runs a command to completion, returning its wall time and
+// peak resident set.
+func timedExec(bin string, args ...string) (time.Duration, int64, error) {
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr // tool chatter goes to stderr; stdout is the report path line
+	cmd.Stderr = os.Stderr
+	fmt.Fprintf(os.Stderr, "benchrun: %s %s\n", filepath.Base(bin), strings.Join(args, " "))
+	start := time.Now()
+	err := cmd.Run()
+	dur := time.Since(start)
+	if err != nil {
+		return dur, 0, err
+	}
+	return dur, childMaxRSS(cmd.ProcessState), nil
+}
+
+// childMaxRSS extracts a finished child's peak resident set in bytes
+// (Linux rusage reports kilobytes).
+func childMaxRSS(ps *os.ProcessState) int64 {
+	ru, ok := ps.SysUsage().(*syscall.Rusage)
+	if !ok {
+		return 0
+	}
+	return ru.Maxrss * 1024
+}
+
+// selfMaxRSS reports this process's own peak resident set in bytes.
+func selfMaxRSS() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Maxrss * 1024
+}

@@ -5,14 +5,23 @@
 //	gcsim [-policy NAME] [-seeds N] [-live BYTES] [-alloc BYTES]
 //	      [-partition-pages N] [-buffer-pages N] [-trigger N]
 //	      [-dense F] [-trees N] [-series FILE] [-audit]
+//	      [-trace FILE] [-format auto|binary|jsonl|chunked]
 //
 // With -seeds > 1 it reports mean ± stddev over seeded runs; with -series
 // it additionally writes the single-run time series as CSV. -audit runs
 // the full cross-structure invariant catalog (internal/check) after every
 // collection — orders of magnitude slower, for validation runs.
+//
+// With -trace the simulation replays a tracegen file instead of running
+// the generator live. The format is detected from the file's leading
+// bytes; -format other than auto asserts the expectation and errors if
+// the file disagrees. Chunked traces replay through a prefetching
+// pipeline at two chunks of resident memory, so traces far larger than
+// RAM simulate fine.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -23,6 +32,7 @@ import (
 	"odbgc/internal/core"
 	"odbgc/internal/sim"
 	"odbgc/internal/stats"
+	"odbgc/internal/trace"
 	"odbgc/internal/workload"
 )
 
@@ -52,6 +62,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		inspect   = fs.Bool("inspect", false, "print per-partition occupancy at end of a single run")
 		warm      = fs.Bool("warm", false, "warm start: exclude the build phase from measurement")
 		audit     = fs.Bool("audit", false, "run the full invariant audit after every collection (slow)")
+		traceFile = fs.String("trace", "", "replay a tracegen trace file instead of generating the workload")
+		format    = fs.String("format", "auto", "trace file format: auto, binary, jsonl, or chunked")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,6 +71,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	switch {
 	case *seeds < 1:
 		return fmt.Errorf("-seeds %d: need at least 1 seeded run", *seeds)
+	case *format != "auto" && *format != trace.FormatBinary && *format != trace.FormatJSONL && *format != trace.FormatChunked:
+		return fmt.Errorf("-format %q: unknown format (auto, binary, jsonl, or chunked)", *format)
+	case *format != "auto" && *traceFile == "":
+		return fmt.Errorf("-format only applies to -trace replay")
 	case *partPages < 0:
 		return fmt.Errorf("-partition-pages %d: page count cannot be negative", *partPages)
 	case *bufPages < 0:
@@ -71,6 +87,27 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("-alloc %d: byte count cannot be negative", *alloc)
 	case *trees < 0:
 		return fmt.Errorf("-trees %d: node count cannot be negative", *trees)
+	}
+
+	if *traceFile != "" {
+		// Replay mode: the trace already fixes the workload, so workload
+		// shaping and multi-seed flags contradict it.
+		for flagName, set := range map[string]bool{
+			"-seeds": *seeds > 1,
+			"-live":  *live > 0,
+			"-alloc": *alloc > 0,
+			"-dense": *dense >= 0,
+			"-trees": *trees > 0,
+			"-warm":  *warm,
+		} {
+			if set {
+				return fmt.Errorf("%s does not apply when replaying -trace %s (the trace fixes the workload)", flagName, *traceFile)
+			}
+		}
+		if *policy == "all" {
+			return fmt.Errorf("-policy all is not supported with -trace; run one policy per replay")
+		}
+		return replayTrace(stdout, *traceFile, *format, *policy, *partPages, *bufPages, *trigger, *series, *inspect, *audit)
 	}
 
 	wl := workload.DefaultConfig()
@@ -133,18 +170,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		res := s.Finish()
 		printResult(stdout, res, wlStats)
 		if *series != "" {
-			f, err := os.Create(*series)
-			if err != nil {
+			if err := writeSeries(stdout, res, *series); err != nil {
 				return err
 			}
-			if err := res.Series.WriteCSV(f); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
-				return err
-			}
-			fmt.Fprintln(stdout, "series ->", *series)
 		}
 		return nil
 	}
@@ -165,6 +193,102 @@ func run(args []string, stdout, stderr io.Writer) error {
 	t.AddRow("Fraction reclaimed (%)", f1(agg.FractionReclaimed.Mean), f1(agg.FractionReclaimed.StdDev))
 	t.AddRow("Efficiency (KB/IO)", f2(agg.EfficiencyKBPerIO.Mean), f2(agg.EfficiencyKBPerIO.StdDev))
 	fmt.Fprintln(stdout, t)
+	return nil
+}
+
+// replayTrace runs one simulation fed by a trace file instead of a live
+// generator. The file's format is detected from its magic bytes; a
+// non-auto -format that disagrees with the detection is an error naming
+// both, so a flag never causes a file to be mis-decoded.
+func replayTrace(stdout io.Writer, path, expectFormat, policy string, partPages, bufPages int, trigger int64, series string, inspect, audit bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	detected, err := trace.SniffFormat(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if expectFormat != "auto" && expectFormat != detected {
+		return fmt.Errorf("-format %s: %s is a %s trace (detected from its magic bytes); use -format %s or -format auto",
+			expectFormat, path, detected, detected)
+	}
+
+	cfg := sim.DefaultConfig(policy)
+	if partPages > 0 {
+		cfg.Heap.PartitionPages = partPages
+	}
+	if bufPages > 0 {
+		cfg.BufferPages = bufPages
+	}
+	if trigger > 0 {
+		cfg.TriggerOverwrites = trigger
+	}
+	if series != "" {
+		cfg.SampleEvery = 10_000
+	}
+	if audit {
+		cfg.Audit = check.Audited(1, 0)
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	switch detected {
+	case trace.FormatChunked:
+		// The streamed replay opens its own descriptor and prefetches
+		// chunk N+1 while the simulator drains chunk N.
+		rt, err := workload.OpenStreamed(path)
+		if err != nil {
+			return err
+		}
+		if err := rt.Replay(s, nil); err != nil {
+			return err
+		}
+	case trace.FormatBinary:
+		if _, err := trace.CopyFrom(s, trace.NewReader(bufio.NewReaderSize(f, 1<<20))); err != nil {
+			return err
+		}
+	default:
+		if _, err := trace.CopyFrom(s, trace.NewJSONLReader(bufio.NewReaderSize(f, 1<<20))); err != nil {
+			return err
+		}
+	}
+
+	if audit {
+		if err := s.Audit(); err != nil {
+			return err
+		}
+	}
+	if inspect {
+		printPartitions(stdout, s.InspectPartitions())
+	}
+	res := s.Finish()
+	printResult(stdout, res, workload.Stats{})
+	if series != "" {
+		if err := writeSeries(stdout, res, series); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSeries writes a single run's time series CSV.
+func writeSeries(stdout io.Writer, res sim.Result, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := res.Series.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "series ->", path)
 	return nil
 }
 
@@ -228,7 +352,10 @@ func printPartitions(stdout io.Writer, parts []sim.PartitionInfo) {
 func printResult(stdout io.Writer, res sim.Result, wlStats workload.Stats) {
 	t := stats.NewTable("Simulation result: "+res.Policy, "Metric", "Value")
 	t.AddRow("Application events", fmt.Sprint(res.Events))
-	t.AddRow("Edge read/write ratio", f1(wlStats.EdgeReadWriteRatio))
+	if wlStats.Events > 0 {
+		// Trace replays carry no generator statistics.
+		t.AddRow("Edge read/write ratio", f1(wlStats.EdgeReadWriteRatio))
+	}
 	t.AddRow("Application I/Os", fmt.Sprint(res.AppIOs))
 	t.AddRow("Collector I/Os", fmt.Sprint(res.GCIOs))
 	t.AddRow("Total I/Os", fmt.Sprint(res.TotalIOs))

@@ -6,6 +6,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"odbgc/internal/trace"
+	"odbgc/internal/workload"
 )
 
 // tiny is a workload small enough that a full single run finishes in
@@ -122,4 +125,119 @@ func firstLine(b []byte) string {
 		return string(b[:i])
 	}
 	return string(b)
+}
+
+// writeTestTrace generates a small trace file via tracegen's workload
+// settings, in the given format, and returns its path.
+func writeTestTrace(t *testing.T, format string) string {
+	t.Helper()
+	cfg := workload.DefaultConfig()
+	cfg.TargetLiveBytes = 60_000
+	cfg.TotalAllocBytes = 180_000
+	cfg.MeanTreeNodes = 40
+	path := filepath.Join(t.TempDir(), "t."+format)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := workload.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink trace.Sink
+	var flush func() error
+	switch format {
+	case trace.FormatChunked:
+		// 4 KB chunks so even this small trace crosses many boundaries.
+		cw := trace.NewChunkWriter(f, cfg.Fingerprint(), 4096)
+		sink, flush = cw, cw.Flush
+	case trace.FormatBinary:
+		w := trace.NewWriter(f)
+		sink, flush = w, w.Flush
+	default:
+		w := trace.NewJSONLWriter(f)
+		sink, flush = w, w.Flush
+	}
+	if _, err := g.Run(sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestTraceReplayAllFormats replays the same workload from each on-disk
+// format and checks all three runs report the identical result table.
+func TestTraceReplayAllFormats(t *testing.T) {
+	outputs := map[string]string{}
+	for _, format := range []string{trace.FormatBinary, trace.FormatJSONL, trace.FormatChunked} {
+		path := writeTestTrace(t, format)
+		var stdout, stderr bytes.Buffer
+		args := []string{"-trace", path, "-partition-pages", "8", "-trigger", "40"}
+		if err := run(args, &stdout, &stderr); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if !strings.Contains(stdout.String(), "Simulation result") {
+			t.Fatalf("%s: no result table:\n%s", format, stdout.String())
+		}
+		outputs[format] = stdout.String()
+	}
+	if outputs[trace.FormatBinary] != outputs[trace.FormatChunked] || outputs[trace.FormatBinary] != outputs[trace.FormatJSONL] {
+		t.Errorf("replay results differ across formats:\nbinary:\n%s\njsonl:\n%s\nchunked:\n%s",
+			outputs[trace.FormatBinary], outputs[trace.FormatJSONL], outputs[trace.FormatChunked])
+	}
+}
+
+// TestTraceFormatMismatchNamed pins the format-detection contract: a
+// -format assertion that contradicts the file's magic bytes is a named
+// one-line error, not a mis-decode.
+func TestTraceFormatMismatchNamed(t *testing.T) {
+	path := writeTestTrace(t, trace.FormatChunked)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-trace", path, "-format", "binary"}, &stdout, &stderr)
+	if err == nil {
+		t.Fatal("mismatched -format accepted")
+	}
+	for _, want := range []string{"-format binary", "chunked"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name %q", err, want)
+		}
+	}
+	if strings.Contains(err.Error(), "\n") {
+		t.Errorf("error %q spans multiple lines", err)
+	}
+}
+
+// TestTraceFlagConflictsNamed checks workload-shaping flags are rejected
+// by name in replay mode.
+func TestTraceFlagConflictsNamed(t *testing.T) {
+	path := writeTestTrace(t, trace.FormatBinary)
+	cases := [][]string{
+		{"-trace", path, "-seeds", "2"},
+		{"-trace", path, "-live", "1000"},
+		{"-trace", path, "-alloc", "5000"},
+		{"-trace", path, "-dense", "0.1"},
+		{"-trace", path, "-trees", "10"},
+		{"-trace", path, "-warm"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		err := run(args, &stdout, &stderr)
+		if err == nil {
+			t.Errorf("run(%v) succeeded, want conflict error", args)
+			continue
+		}
+		if !strings.Contains(err.Error(), args[2]) {
+			t.Errorf("run(%v) error %q does not name %s", args, err, args[2])
+		}
+	}
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-format", "binary"}, &stdout, &stderr); err == nil || !strings.Contains(err.Error(), "-format") {
+		t.Errorf("-format without -trace: err = %v, want named error", err)
+	}
 }

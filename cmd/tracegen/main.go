@@ -4,7 +4,14 @@
 //
 // Usage:
 //
-//	tracegen -o trace.bin [-seed N] [-live BYTES] [-alloc BYTES] [-dense F] [-trees N]
+//	tracegen -o trace.bin [-format binary|jsonl|chunked] [-chunk-bytes N]
+//	         [-seed N] [-live BYTES] [-alloc BYTES] [-dense F] [-trees N]
+//
+// The chunked format streams fixed-size CRC-guarded chunks to disk as
+// they fill, so the encoded trace never resides in memory (the
+// generator's own state still scales with its workload model); gcsim
+// replays chunked traces through a prefetching pipeline at a fixed
+// two-chunk memory budget no matter how long the trace is.
 package main
 
 import (
@@ -31,13 +38,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		out    = fs.String("o", "", "output trace file (required)")
-		format = fs.String("format", "binary", "trace format: binary or jsonl")
-		seed   = fs.Int64("seed", 1, "workload seed")
-		live   = fs.Int64("live", 0, "live-data setpoint in bytes (0 = default)")
-		alloc  = fs.Int64("alloc", 0, "total allocation target in bytes (0 = default)")
-		dense  = fs.Float64("dense", -1, "dense edge fraction; negative = default")
-		trees  = fs.Int("trees", 0, "mean nodes per tree (0 = default)")
+		out        = fs.String("o", "", "output trace file (required)")
+		format     = fs.String("format", "binary", "trace format: binary, jsonl, or chunked")
+		chunkBytes = fs.Int("chunk-bytes", 0, "chunk payload target for -format chunked (0 = 4 MiB default)")
+		seed       = fs.Int64("seed", 1, "workload seed")
+		live       = fs.Int64("live", 0, "live-data setpoint in bytes (0 = default)")
+		alloc      = fs.Int64("alloc", 0, "total allocation target in bytes (0 = default)")
+		dense      = fs.Float64("dense", -1, "dense edge fraction; negative = default")
+		trees      = fs.Int("trees", 0, "mean nodes per tree (0 = default)")
+		maxEvents  = fs.Int64("max-events", 0, "safety cap on emitted events (0 = default 80M); raise for 100M+ event traces")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -45,14 +54,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	switch {
 	case *out == "":
 		return fmt.Errorf("-o is required")
-	case *format != "binary" && *format != "jsonl":
-		return fmt.Errorf("-format %q: unknown format (binary or jsonl)", *format)
+	case *format != trace.FormatBinary && *format != trace.FormatJSONL && *format != trace.FormatChunked:
+		return fmt.Errorf("-format %q: unknown format (binary, jsonl, or chunked)", *format)
+	case *chunkBytes < 0:
+		return fmt.Errorf("-chunk-bytes %d: byte count cannot be negative", *chunkBytes)
+	case *chunkBytes > 0 && *format != trace.FormatChunked:
+		return fmt.Errorf("-chunk-bytes only applies to -format chunked, not %q", *format)
 	case *live < 0:
 		return fmt.Errorf("-live %d: byte count cannot be negative", *live)
 	case *alloc < 0:
 		return fmt.Errorf("-alloc %d: byte count cannot be negative", *alloc)
 	case *trees < 0:
 		return fmt.Errorf("-trees %d: node count cannot be negative", *trees)
+	case *maxEvents < 0:
+		return fmt.Errorf("-max-events %d: event cap cannot be negative", *maxEvents)
 	}
 
 	cfg := workload.DefaultConfig()
@@ -69,6 +84,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *trees > 0 {
 		cfg.MeanTreeNodes = *trees
 	}
+	if *maxEvents > 0 {
+		cfg.MaxEvents = *maxEvents
+	}
 
 	g, err := workload.New(cfg)
 	if err != nil {
@@ -79,15 +97,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	defer f.Close()
-	bw := bufio.NewWriter(f)
 	var (
 		sink  trace.Sink
 		flush func() error
+		bw    *bufio.Writer
+		aw    *trace.AsyncWriter
 	)
-	if *format == "binary" {
+	switch *format {
+	case trace.FormatChunked:
+		// Chunk encoding is pipelined with file I/O: full chunks queue on
+		// a background writer goroutine while the generator fills the
+		// next one, so generation streams at constant memory.
+		aw = trace.NewAsyncWriter(f, 2)
+		cw := trace.NewChunkWriter(aw, cfg.Fingerprint(), *chunkBytes)
+		sink, flush = cw, cw.Flush
+	case trace.FormatBinary:
+		bw = bufio.NewWriter(f)
 		w := trace.NewWriter(bw)
 		sink, flush = w, w.Flush
-	} else {
+	default:
+		bw = bufio.NewWriter(f)
 		w := trace.NewJSONLWriter(bw)
 		sink, flush = w, w.Flush
 	}
@@ -98,8 +127,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := flush(); err != nil {
 		return err
 	}
-	if err := bw.Flush(); err != nil {
-		return err
+	if bw != nil {
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+	if aw != nil {
+		if err := aw.Close(); err != nil {
+			return err
+		}
 	}
 	if err := f.Close(); err != nil {
 		return err

@@ -1,10 +1,15 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
+
+	"odbgc/internal/trace"
 )
 
 func TestFlagValidationErrors(t *testing.T) {
@@ -18,6 +23,8 @@ func TestFlagValidationErrors(t *testing.T) {
 		{"negative alloc", []string{"-o", "x.bin", "-alloc", "-1"}, "-alloc"},
 		{"negative trees", []string{"-o", "x.bin", "-trees", "-1"}, "-trees"},
 		{"bad format", []string{"-o", "x.bin", "-format", "xml"}, "format"},
+		{"negative chunk bytes", []string{"-o", "x.bin", "-format", "chunked", "-chunk-bytes", "-1"}, "-chunk-bytes"},
+		{"chunk bytes without chunked", []string{"-o", "x.bin", "-chunk-bytes", "4096"}, "-chunk-bytes"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -34,9 +41,9 @@ func TestFlagValidationErrors(t *testing.T) {
 }
 
 // TestGenerateAndInspect round-trips a tiny trace through tracegen's
-// writer in both formats, asserting the summary line renders.
+// writer in every format, asserting the summary line renders.
 func TestGenerateAndInspect(t *testing.T) {
-	for _, format := range []string{"binary", "jsonl"} {
+	for _, format := range []string{"binary", "jsonl", "chunked"} {
 		path := filepath.Join(t.TempDir(), "t."+format)
 		var stdout, stderr bytes.Buffer
 		args := []string{"-o", path, "-format", format,
@@ -48,4 +55,65 @@ func TestGenerateAndInspect(t *testing.T) {
 			t.Errorf("%s: summary line missing:\n%s", format, stdout.String())
 		}
 	}
+}
+
+// TestChunkedOutputStreamsIdentically pins the chunked writer path to
+// the flat binary path: the same seed generates files whose replayed
+// event streams are identical, whatever the chunk size.
+func TestChunkedOutputStreamsIdentically(t *testing.T) {
+	dir := t.TempDir()
+	binPath := filepath.Join(dir, "t.bin")
+	args := []string{"-live", "50000", "-alloc", "150000", "-trees", "30"}
+	var stdout, stderr bytes.Buffer
+	if err := run(append([]string{"-o", binPath}, args...), &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	binEvents := readAll(t, binPath)
+	for _, chunkBytes := range []string{"0", "4096"} {
+		path := filepath.Join(dir, "t.ck"+chunkBytes)
+		if err := run(append([]string{"-o", path, "-format", "chunked", "-chunk-bytes", chunkBytes}, args...), &stdout, &stderr); err != nil {
+			t.Fatal(err)
+		}
+		if got := readAll(t, path); !reflect.DeepEqual(got, binEvents) {
+			t.Fatalf("chunk-bytes %s: chunked stream diverges from flat binary (%d vs %d events)",
+				chunkBytes, len(got), len(binEvents))
+		}
+	}
+}
+
+// readAll decodes every event of a trace file in either format.
+func readAll(t *testing.T, path string) []trace.Event {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	format, err := trace.SniffFormat(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []trace.Event
+	sink := sinkFunc(func(e trace.Event) { events = append(events, e) })
+	if format == trace.FormatChunked {
+		s, err := trace.OpenChunkStream(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Replay(sink); err != nil {
+			t.Fatal(err)
+		}
+		return events
+	}
+	if _, err := trace.CopyFrom(sink, trace.NewReader(bufio.NewReader(f))); err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+type sinkFunc func(trace.Event)
+
+func (f sinkFunc) Emit(e trace.Event) error {
+	f(e)
+	return nil
 }

@@ -1,11 +1,14 @@
-// Command traceinfo inspects a trace file produced by tracegen — binary
-// or JSON Lines, detected automatically: event counts by kind, allocation
-// volume, object-size distribution, and the edge read/write ratio.
+// Command traceinfo inspects a trace file produced by tracegen — binary,
+// JSON Lines, or chunked, detected automatically: event counts by kind,
+// allocation volume, object-size distribution, and the edge read/write
+// ratio. Chunked traces additionally get a per-chunk summary table
+// (events, payload bytes, kind histogram, CRC status), and -chunk N
+// drills into a single chunk without reading the rest of the file.
 // Optionally it replays the trace through one simulation.
 //
 // Usage:
 //
-//	traceinfo [-replay POLICY] trace.bin
+//	traceinfo [-replay POLICY] [-chunk N] trace.bin
 package main
 
 import (
@@ -35,11 +38,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("traceinfo", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	replay := fs.String("replay", "", "also replay the trace under this selection policy")
+	chunkN := fs.Int("chunk", -1, "show one chunk of a chunked trace (skips the others)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return errors.New("usage: traceinfo [-replay POLICY] trace.bin")
+		return errors.New("usage: traceinfo [-replay POLICY] [-chunk N] trace.bin")
 	}
 	path := fs.Arg(0)
 
@@ -48,10 +52,30 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	defer f.Close()
-
-	r, format, err := openTrace(f)
+	format, err := trace.SniffFormat(f)
 	if err != nil {
-		return err
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if *chunkN >= 0 {
+		if format != trace.FormatChunked {
+			return fmt.Errorf("-chunk %d only applies to chunked traces; %s is a %s trace", *chunkN, path, format)
+		}
+		return showChunk(stdout, f, path, *chunkN)
+	}
+
+	var (
+		r  eventSource
+		cs *chunkEvents
+	)
+	br := bufio.NewReaderSize(f, 1<<20)
+	switch format {
+	case trace.FormatChunked:
+		cs = &chunkEvents{cr: trace.NewChunkReader(br)}
+		r = cs
+	case trace.FormatBinary:
+		r = trace.NewReader(br)
+	default:
+		r = trace.NewJSONLReader(br)
 	}
 	var (
 		counts      = map[trace.Kind]int64{}
@@ -117,20 +141,47 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintln(stdout, t)
 
+	if cs != nil {
+		// Every chunk that reached the summary survived its CRC check; a
+		// mismatch aborts the scan above with an error naming the chunk.
+		ct := stats.NewTable(fmt.Sprintf("Chunks: %d, fingerprint %#016x", len(cs.sums), cs.cr.Fingerprint()),
+			"Chunk", "Events", "Payload B", "Creates", "Roots", "Reads", "Writes", "Modifies", "CRC")
+		for _, s := range cs.sums {
+			ct.AddRow(fmt.Sprint(s.index), fmt.Sprint(s.events), fmt.Sprint(s.bytes),
+				fmt.Sprint(s.kinds[trace.KindCreate]), fmt.Sprint(s.kinds[trace.KindRoot]),
+				fmt.Sprint(s.kinds[trace.KindRead]), fmt.Sprint(s.kinds[trace.KindWrite]),
+				fmt.Sprint(s.kinds[trace.KindModify]), "ok")
+		}
+		fmt.Fprintln(stdout, ct)
+	}
+
 	if *replay != "" {
-		if _, err := f.Seek(0, io.SeekStart); err != nil {
-			return err
-		}
-		r2, _, err := openTrace(f)
-		if err != nil {
-			return err
-		}
 		s, err := sim.New(sim.DefaultConfig(*replay))
 		if err != nil {
 			return err
 		}
-		if err := copyEvents(s, r2); err != nil {
-			return err
+		if format == trace.FormatChunked {
+			stream, err := trace.OpenChunkStream(path)
+			if err != nil {
+				return err
+			}
+			if err := stream.Replay(s); err != nil {
+				return err
+			}
+		} else {
+			if _, err := f.Seek(0, io.SeekStart); err != nil {
+				return err
+			}
+			br := bufio.NewReaderSize(f, 1<<20)
+			var r2 eventSource
+			if format == trace.FormatBinary {
+				r2 = trace.NewReader(br)
+			} else {
+				r2 = trace.NewJSONLReader(br)
+			}
+			if _, err := trace.CopyFrom(s, r2); err != nil {
+				return err
+			}
 		}
 		res := s.Finish()
 		rt := stats.NewTable("Replay under "+res.Policy, "Metric", "Value")
@@ -144,38 +195,108 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
-// eventSource unifies the binary and JSONL readers.
+// showChunk seeks to chunk n of a chunked trace — skipping earlier
+// chunks without CRC-verifying or decoding them — and prints its detail.
+func showChunk(stdout io.Writer, f *os.File, path string, n int) error {
+	cr := trace.NewChunkReader(bufio.NewReaderSize(f, 1<<20))
+	for i := 0; i < n; i++ {
+		if err := cr.SkipChunk(); err != nil {
+			if errors.Is(err, io.EOF) {
+				return fmt.Errorf("-chunk %d: %s has only %d chunks", n, path, i)
+			}
+			return err
+		}
+	}
+	var c trace.Chunk
+	if err := cr.Next(&c); err != nil {
+		if errors.Is(err, io.EOF) {
+			return fmt.Errorf("-chunk %d: %s has only %d chunks", n, path, n)
+		}
+		return err
+	}
+	var sink kindCountSink
+	if err := c.Replay(&sink); err != nil {
+		return err
+	}
+	t := stats.NewTable(fmt.Sprintf("Chunk %d of %s", n, path), "Metric", "Value")
+	t.AddRow("Events", fmt.Sprint(c.Len()))
+	t.AddRow("Payload bytes", fmt.Sprint(c.PayloadBytes()))
+	t.AddRow("Fingerprint", fmt.Sprintf("%#016x", c.Fingerprint))
+	t.AddRow("CRC", "ok")
+	t.AddRow("Creates", fmt.Sprint(sink.kinds[trace.KindCreate]))
+	t.AddRow("Roots", fmt.Sprint(sink.kinds[trace.KindRoot]))
+	t.AddRow("Reads", fmt.Sprint(sink.kinds[trace.KindRead]))
+	t.AddRow("Writes", fmt.Sprint(sink.kinds[trace.KindWrite]))
+	t.AddRow("Modifies", fmt.Sprint(sink.kinds[trace.KindModify]))
+	fmt.Fprintln(stdout, t)
+	return nil
+}
+
+// kindCountSink tallies replayed events by kind.
+type kindCountSink struct{ kinds map[trace.Kind]int64 }
+
+func (s *kindCountSink) Emit(e trace.Event) error {
+	if s.kinds == nil {
+		s.kinds = map[trace.Kind]int64{}
+	}
+	s.kinds[e.Kind]++
+	return nil
+}
+
+// eventSource unifies the binary, JSONL, and chunked readers.
 type eventSource interface {
 	Next() (trace.Event, error)
 	Count() int64
 }
 
-// openTrace sniffs the format from the file's first byte: binary traces
-// start with the magic ("odbgctr"), JSONL traces with '{'.
-func openTrace(f *os.File) (eventSource, string, error) {
-	br := bufio.NewReader(f)
-	first, err := br.Peek(1)
-	if err != nil {
-		return nil, "", fmt.Errorf("empty or unreadable trace: %w", err)
-	}
-	if first[0] == '{' {
-		return trace.NewJSONLReader(br), "jsonl", nil
-	}
-	return trace.NewReader(br), "binary", nil
+// chunkSummary is one chunk's row of the per-chunk table.
+type chunkSummary struct {
+	index  int
+	events int
+	bytes  int
+	kinds  map[trace.Kind]int64
 }
 
-// copyEvents streams every event from src into sink.
-func copyEvents(sink trace.Sink, src eventSource) error {
-	for {
-		e, err := src.Next()
-		if errors.Is(err, io.EOF) {
-			return nil
+// chunkEvents adapts a ChunkReader to the per-event eventSource
+// interface, buffering one decoded chunk at a time and recording a
+// summary of each chunk it crosses.
+type chunkEvents struct {
+	cr    *trace.ChunkReader
+	c     trace.Chunk
+	buf   []trace.Event
+	pos   int
+	count int64
+	sums  []chunkSummary
+}
+
+func (s *chunkEvents) Next() (trace.Event, error) {
+	for s.pos >= len(s.buf) {
+		if err := s.cr.Next(&s.c); err != nil {
+			return trace.Event{}, err
 		}
-		if err != nil {
-			return err
+		s.buf = s.buf[:0]
+		if err := s.c.Replay(collectFunc(func(e trace.Event) { s.buf = append(s.buf, e) })); err != nil {
+			return trace.Event{}, err
 		}
-		if err := sink.Emit(e); err != nil {
-			return err
+		s.pos = 0
+		sum := chunkSummary{index: s.c.Index, events: len(s.buf), bytes: s.c.PayloadBytes(), kinds: map[trace.Kind]int64{}}
+		for _, e := range s.buf {
+			sum.kinds[e.Kind]++
 		}
+		s.sums = append(s.sums, sum)
 	}
+	e := s.buf[s.pos]
+	s.pos++
+	s.count++
+	return e, nil
+}
+
+func (s *chunkEvents) Count() int64 { return s.count }
+
+// collectFunc adapts a function to the trace.Sink interface.
+type collectFunc func(trace.Event)
+
+func (f collectFunc) Emit(e trace.Event) error {
+	f(e)
+	return nil
 }

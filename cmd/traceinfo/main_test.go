@@ -46,6 +46,37 @@ func writeTinyTrace(t *testing.T) string {
 	return path
 }
 
+// writeTinyChunkedTrace generates the same workload as writeTinyTrace
+// into a chunked file with small chunks, so the per-chunk table has
+// several rows.
+func writeTinyChunkedTrace(t *testing.T) string {
+	t.Helper()
+	cfg := workload.DefaultConfig()
+	cfg.TargetLiveBytes = 50_000
+	cfg.TotalAllocBytes = 150_000
+	cfg.MeanTreeNodes = 30
+	g, err := workload.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tiny.odbgcck")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw := trace.NewChunkWriter(f, cfg.Fingerprint(), 4096)
+	if _, err := g.Run(cw); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
 func TestUsageErrorWithoutFile(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if err := run(nil, &stdout, &stderr); err == nil {
@@ -73,4 +104,99 @@ func TestInspectAndReplay(t *testing.T) {
 	if !strings.Contains(stdout.String(), "Replay under") {
 		t.Errorf("replay output missing replay table:\n%s", stdout.String())
 	}
+}
+
+// TestInspectChunked checks a chunked trace gets the global summary, the
+// per-chunk table, the -chunk drill-down, and a streamed -replay, and
+// that the event totals agree with the flat binary inspection of the
+// same workload.
+func TestInspectChunked(t *testing.T) {
+	path := writeTinyChunkedTrace(t)
+
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{path}, &stdout, &stderr); err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"(chunked)", "Creates", "Chunks:", "fingerprint", "ok"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chunked inspect output missing %q:\n%s", want, out)
+		}
+	}
+
+	// The flat binary of the same workload must report identical totals.
+	binOut := func() string {
+		var b bytes.Buffer
+		if err := run([]string{writeTinyTrace(t)}, &b, &stderr); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}()
+	chunkTotals := out[:strings.Index(out, "Chunks:")]
+	if got, want := tableBody(chunkTotals), tableBody(binOut); got != want {
+		t.Errorf("chunked totals diverge from binary totals:\n%s\nvs:\n%s", got, want)
+	}
+
+	stdout.Reset()
+	if err := run([]string{"-chunk", "1", path}, &stdout, &stderr); err != nil {
+		t.Fatalf("-chunk 1: %v", err)
+	}
+	for _, want := range []string{"Chunk 1 of", "Events", "CRC"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("-chunk output missing %q:\n%s", want, stdout.String())
+		}
+	}
+
+	stdout.Reset()
+	if err := run([]string{"-replay", core.NameUpdatedPointer, path}, &stdout, &stderr); err != nil {
+		t.Fatalf("chunked replay: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "Replay under") {
+		t.Errorf("chunked replay output missing replay table:\n%s", stdout.String())
+	}
+}
+
+// TestChunkFlagErrors covers the -chunk drill-down's error paths: out of
+// range for a chunked trace, and any use on a non-chunked trace.
+func TestChunkFlagErrors(t *testing.T) {
+	chunked := writeTinyChunkedTrace(t)
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-chunk", "100000", chunked}, &stdout, &stderr); err == nil || !strings.Contains(err.Error(), "only") {
+		t.Errorf("-chunk past the end: err = %v, want chunk-count error", err)
+	}
+	flat := writeTinyTrace(t)
+	if err := run([]string{"-chunk", "0", flat}, &stdout, &stderr); err == nil || !strings.Contains(err.Error(), "-chunk") {
+		t.Errorf("-chunk on binary trace: err = %v, want named-flag error", err)
+	}
+}
+
+// TestCorruptChunkNamed checks traceinfo surfaces a CRC failure naming
+// the damaged chunk.
+func TestCorruptChunkNamed(t *testing.T) {
+	path := writeTinyChunkedTrace(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x20 // mid-file payload byte
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	err = run([]string{path}, &stdout, &stderr)
+	if err == nil {
+		t.Fatal("corrupted trace inspected cleanly")
+	}
+	if !strings.Contains(err.Error(), "chunk ") || !strings.Contains(err.Error(), "crc") {
+		t.Errorf("error %q does not name the damaged chunk's crc", err)
+	}
+}
+
+// tableBody strips a stats table's title line so differently-titled
+// tables with identical rows compare equal.
+func tableBody(s string) string {
+	if i := strings.Index(s, "\n"); i >= 0 {
+		return s[i:]
+	}
+	return s
 }

@@ -2,6 +2,8 @@ package check
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 
 	"odbgc/internal/core"
@@ -30,6 +32,7 @@ type Options struct {
 //
 //   - audited vs unaudited (auditing must not perturb results);
 //   - frozen columnar replay vs packed varint replay;
+//   - streamed chunked-file replay vs the in-memory frozen replay;
 //   - recorded-trace replay vs a live generator run;
 //   - eager write barrier vs the buffered (SSB) barrier;
 //   - serial loop vs the parallel scheduler with a shared trace cache;
@@ -119,6 +122,36 @@ func SelfCheck(opts Options) error {
 			return fmt.Errorf("selfcheck: packed replay (seed %d): %w", wl.Seed, err)
 		}
 		if err := DiffResults("frozen replay", "packed replay", ref, resPacked); err != nil {
+			return fmt.Errorf("selfcheck: seed %d: %w", wl.Seed, err)
+		}
+
+		// Streamed chunked-file replay vs the in-memory frozen replay.
+		// Small chunks force many boundaries through the prefetch
+		// pipeline; the build/churn boundary carries over from the
+		// in-memory recording since the file does not store it.
+		tmpDir, err := os.MkdirTemp("", "odbgc-selfcheck")
+		if err != nil {
+			return fmt.Errorf("selfcheck: temp dir for streamed trace: %w", err)
+		}
+		streamPath := filepath.Join(tmpDir, fmt.Sprintf("seed%d.odbgcck", wl.Seed))
+		resStreamed, serr := func() (sim.Result, error) {
+			if err := rt.WriteChunked(streamPath, 64<<10); err != nil {
+				return sim.Result{}, fmt.Errorf("writing chunked trace: %w", err)
+			}
+			streamed, err := workload.OpenStreamed(streamPath)
+			if err != nil {
+				return sim.Result{}, fmt.Errorf("opening chunked trace: %w", err)
+			}
+			streamed.Config = rt.Config
+			streamed.Stats = rt.Stats
+			streamed.BuildEvents = rt.BuildEvents
+			return sim.RunRecorded(cfg, streamed)
+		}()
+		os.RemoveAll(tmpDir)
+		if serr != nil {
+			return fmt.Errorf("selfcheck: streamed replay (seed %d): %w", wl.Seed, serr)
+		}
+		if err := DiffResults("frozen replay", "streamed chunked replay", ref, resStreamed); err != nil {
 			return fmt.Errorf("selfcheck: seed %d: %w", wl.Seed, err)
 		}
 

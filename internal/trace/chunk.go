@@ -1,0 +1,404 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Chunked trace format: the on-disk form for traces too large to hold in
+// memory. The file is the chunk magic followed by any number of
+// self-describing chunks; each chunk is a fixed-size header (event
+// count, payload length, chunk index, payload CRC-32, and the generating
+// configuration's fingerprint) followed by a payload in the same packed
+// opcode+uvarint encoding the in-memory Buffer uses. A reader decodes
+// each payload exactly once into the columnar layout Frozen replays
+// from, so streamed replay drains the same zero-alloc fast path as the
+// in-memory cache while only ever holding a bounded number of chunks.
+
+// chunkMagic identifies chunked odbgc trace files; the trailing byte is
+// the format version. It deliberately differs from the flat binary
+// stream's magic so readers can sniff which decoder a file needs.
+var chunkMagic = [8]byte{'o', 'd', 'b', 'g', 'c', 'c', 'k', 1}
+
+// ErrBadChunkMagic is returned when a stream is not a chunked odbgc
+// trace.
+var ErrBadChunkMagic = errors.New("trace: bad magic (not a chunked odbgc trace file)")
+
+const (
+	// DefaultChunkBytes is the payload-size target a ChunkWriter flushes
+	// at when the caller does not choose one: large enough that header,
+	// CRC, and pipeline overheads amortize to nothing, small enough that
+	// a double-buffered reader stays tens of megabytes resident no
+	// matter how large the trace is.
+	DefaultChunkBytes = 4 << 20
+
+	// maxChunkPayload bounds a single chunk's payload. The writer clamps
+	// its target to it and the reader rejects headers claiming more, so
+	// a corrupt or hostile length field cannot demand an absurd
+	// allocation.
+	maxChunkPayload = 1 << 28
+
+	// chunkHeaderSize is the fixed header preceding every payload:
+	// event count (uint32), payload length (uint32), chunk index
+	// (uint32), payload CRC-32/IEEE (uint32), fingerprint (uint64), all
+	// little-endian.
+	chunkHeaderSize = 24
+
+	// maxEventBytes bounds one packed event (opcode plus at most five
+	// 10-byte uvarints); the writer keeps this much slack in its payload
+	// buffer so appending never reallocates.
+	maxEventBytes = 64
+)
+
+// ChunkWriter encodes events into fixed-size chunks on an underlying
+// stream. It implements Sink, so a workload generator can stream an
+// arbitrarily long trace through it at constant memory. Call Flush once
+// after the last event to write the final short chunk.
+type ChunkWriter struct {
+	w           io.Writer
+	fingerprint uint64
+	target      int
+	payload     []byte
+	events      int64 // events in the open chunk
+	total       int64
+	chunks      int
+	started     bool
+	hdr         [chunkHeaderSize]byte
+}
+
+// NewChunkWriter returns a ChunkWriter over w. fingerprint identifies
+// the generating seed/configuration and is stamped into every chunk
+// header so replay can refuse mixed or mislabeled files. chunkBytes is
+// the payload-size flush target; values <= 0 select DefaultChunkBytes.
+func NewChunkWriter(w io.Writer, fingerprint uint64, chunkBytes int) *ChunkWriter {
+	if chunkBytes <= 0 {
+		chunkBytes = DefaultChunkBytes
+	}
+	if chunkBytes > maxChunkPayload {
+		chunkBytes = maxChunkPayload
+	}
+	return &ChunkWriter{
+		w:           w,
+		fingerprint: fingerprint,
+		target:      chunkBytes,
+		payload:     make([]byte, 0, chunkBytes+maxEventBytes),
+	}
+}
+
+func (w *ChunkWriter) start() error {
+	if w.started {
+		return nil
+	}
+	w.started = true
+	_, err := w.w.Write(chunkMagic[:])
+	return err
+}
+
+// Emit appends one event to the open chunk, flushing a finished chunk to
+// the underlying stream when the payload target is reached. The
+// steady-state path re-uses the payload buffer (its capacity covers the
+// target plus one maximal event), so emitting allocates nothing (pinned
+// by the chunk-writer AllocsPerRun guard).
+//
+//odbgc:hotpath
+func (w *ChunkWriter) Emit(e Event) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	w.payload = appendEvent(w.payload, e)
+	w.events++
+	w.total++
+	if len(w.payload) >= w.target {
+		return w.flushChunk()
+	}
+	return nil
+}
+
+// flushChunk writes the open chunk's header and payload and resets the
+// payload buffer for the next chunk.
+func (w *ChunkWriter) flushChunk() error {
+	if err := w.start(); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(w.hdr[0:4], uint32(w.events))
+	binary.LittleEndian.PutUint32(w.hdr[4:8], uint32(len(w.payload)))
+	binary.LittleEndian.PutUint32(w.hdr[8:12], uint32(w.chunks))
+	binary.LittleEndian.PutUint32(w.hdr[12:16], crc32.ChecksumIEEE(w.payload))
+	binary.LittleEndian.PutUint64(w.hdr[16:24], w.fingerprint)
+	if _, err := w.w.Write(w.hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(w.payload); err != nil {
+		return err
+	}
+	w.chunks++
+	w.events = 0
+	w.payload = w.payload[:0]
+	return nil
+}
+
+// Flush writes the final short chunk (and the magic, for an empty
+// trace). The underlying stream is not flushed or closed; callers owning
+// a bufio.Writer or file still flush/close it themselves.
+func (w *ChunkWriter) Flush() error {
+	if err := w.start(); err != nil {
+		return err
+	}
+	if w.events > 0 {
+		return w.flushChunk()
+	}
+	return nil
+}
+
+// Count reports the number of events emitted so far.
+func (w *ChunkWriter) Count() int64 { return w.total }
+
+// Chunks reports the number of complete chunks written so far.
+func (w *ChunkWriter) Chunks() int { return w.chunks }
+
+// Chunk is one decoded chunk: the columnar (Frozen-layout) form of its
+// events plus the packed payload it was decoded from. A Chunk is reused
+// across ChunkReader.Next calls — its buffers are recycled, so steady-
+// state streaming performs no per-chunk allocation once the buffers have
+// grown to the chunk size.
+type Chunk struct {
+	// Index is the chunk's position in the file, counted from 0.
+	Index int
+	// Fingerprint is the generating configuration's fingerprint stamped
+	// in the chunk header.
+	Fingerprint uint64
+
+	payload []byte
+	kinds   []Kind
+	args    []uint32
+	events  int
+	// wide marks a chunk whose operands exceed the 32-bit columns;
+	// replay then decodes the packed payload per event, exactly like the
+	// Buffer fallback for unfreezable traces.
+	wide bool
+}
+
+// Len reports the number of events in the chunk.
+func (c *Chunk) Len() int { return c.events }
+
+// PayloadBytes reports the packed payload size of the chunk.
+func (c *Chunk) PayloadBytes() int { return len(c.payload) }
+
+// SizeBytes reports the memory resident in the chunk's buffers (payload
+// plus decoded columns); stream accounting charges this against cache
+// budgets.
+func (c *Chunk) SizeBytes() int64 {
+	return int64(cap(c.payload)) + int64(cap(c.kinds)) + 4*int64(cap(c.args))
+}
+
+// decode rebuilds the chunk's columns from its payload, verifying that
+// the payload holds exactly the header's event count. Chunks with >32-bit
+// operands keep only the packed payload and replay through the per-event
+// decoder instead.
+func (c *Chunk) decode(events int) error {
+	c.kinds = c.kinds[:0]
+	c.args = c.args[:0]
+	c.events = events
+	c.wide = false
+	data := c.payload
+	n := 0
+	for pos := 0; pos < len(data); {
+		e, sz, err := decodeEvent(data[pos:])
+		if err != nil {
+			return fmt.Errorf("corrupt payload at event %d: %w", n, err)
+		}
+		pos += sz
+		if !c.wide {
+			var perr error
+			c.kinds, c.args, perr = pushColumns(c.kinds, c.args, e)
+			if perr != nil {
+				if !errors.Is(perr, ErrOperandRange) {
+					return fmt.Errorf("at event %d: %w", n, perr)
+				}
+				c.wide = true
+			}
+		}
+		n++
+	}
+	if n != events {
+		return fmt.Errorf("header declares %d events, payload holds %d", events, n)
+	}
+	if c.wide {
+		c.kinds = c.kinds[:0]
+		c.args = c.args[:0]
+	}
+	return nil
+}
+
+// Replay streams the chunk's events into sink in recording order.
+func (c *Chunk) Replay(sink Sink) error { return c.ReplayHook(sink, -1, nil) }
+
+// ReplayHook streams the chunk's events into sink, invoking hook once
+// after exactly `at` events (relative to the start of this chunk) have
+// been delivered; a negative at or nil hook disables the callback. The
+// columnar path performs no decoding and no heap allocation (pinned by
+// the chunk-replay AllocsPerRun guard); wide chunks fall back to packed
+// per-event decoding.
+//
+//odbgc:hotpath
+func (c *Chunk) ReplayHook(sink Sink, at int64, hook func()) error {
+	if c.wide {
+		return c.replayPacked(sink, at, hook)
+	}
+	return replayColumns(c.kinds, c.args, sink, at, hook)
+}
+
+// replayPacked replays the packed payload per event, for chunks whose
+// operands exceed the 32-bit columns.
+func (c *Chunk) replayPacked(sink Sink, at int64, hook func()) error {
+	b := Buffer{data: c.payload, events: int64(c.events)}
+	return b.ReplayHook(sink, at, hook)
+}
+
+// ChunkReader decodes chunks from a stream produced by ChunkWriter. It
+// reads strictly sequentially and verifies, per chunk: the CRC of the
+// payload, the chunk index (catching missing or reordered chunks), and
+// fingerprint consistency across the file. Every error names the chunk
+// index it was detected in.
+type ChunkReader struct {
+	r           io.Reader
+	started     bool
+	chunks      int
+	events      int64
+	fingerprint uint64
+	hdr         [chunkHeaderSize]byte
+}
+
+// NewChunkReader returns a ChunkReader over r. The magic is checked on
+// the first Next call.
+func NewChunkReader(r io.Reader) *ChunkReader { return &ChunkReader{r: r} }
+
+func (r *ChunkReader) start() error {
+	if r.started {
+		return nil
+	}
+	r.started = true
+	var got [8]byte
+	if _, err := io.ReadFull(r.r, got[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return fmt.Errorf("%w: truncated header", ErrBadChunkMagic)
+		}
+		return err
+	}
+	if got != chunkMagic {
+		return ErrBadChunkMagic
+	}
+	return nil
+}
+
+// Next reads, verifies, and decodes the next chunk into c, reusing c's
+// buffers. It returns io.EOF at a clean end of trace.
+func (r *ChunkReader) Next(c *Chunk) error {
+	if err := r.start(); err != nil {
+		return err
+	}
+	if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return io.EOF // clean end: no partial header
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return fmt.Errorf("trace: chunk %d: truncated header: %w", r.chunks, io.ErrUnexpectedEOF)
+		}
+		return err
+	}
+	h, err := parseChunkHeader(r.hdr, r.chunks, r.fingerprint)
+	if err != nil {
+		return err
+	}
+	if c.payload, err = readPayload(r.r, c.payload, int(h.plen)); err != nil {
+		return fmt.Errorf("trace: chunk %d: truncated payload: %w", r.chunks, err)
+	}
+	if got := crc32.ChecksumIEEE(c.payload); got != h.crc {
+		return fmt.Errorf("trace: chunk %d: crc mismatch (header %#08x, payload %#08x)", r.chunks, h.crc, got)
+	}
+	if err := c.decode(int(h.events)); err != nil {
+		return fmt.Errorf("trace: chunk %d: %w", r.chunks, err)
+	}
+	c.Index = r.chunks
+	c.Fingerprint = h.fp
+	if r.chunks == 0 {
+		r.fingerprint = h.fp
+	}
+	r.chunks++
+	r.events += int64(h.events)
+	return nil
+}
+
+// SkipChunk advances past the next chunk without CRC-verifying or
+// decoding its payload, for drill-down tooling that wants chunk N
+// without paying for chunks 0..N-1. It returns io.EOF at a clean end of
+// trace.
+func (r *ChunkReader) SkipChunk() error {
+	if err := r.start(); err != nil {
+		return err
+	}
+	if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return io.EOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return fmt.Errorf("trace: chunk %d: truncated header: %w", r.chunks, io.ErrUnexpectedEOF)
+		}
+		return err
+	}
+	h, err := parseChunkHeader(r.hdr, r.chunks, r.fingerprint)
+	if err != nil {
+		return err
+	}
+	if _, err := io.CopyN(io.Discard, r.r, int64(h.plen)); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return fmt.Errorf("trace: chunk %d: truncated payload: %w", r.chunks, err)
+	}
+	if r.chunks == 0 {
+		r.fingerprint = h.fp
+	}
+	r.chunks++
+	r.events += int64(h.events)
+	return nil
+}
+
+// Chunks reports the number of chunks decoded so far.
+func (r *ChunkReader) Chunks() int { return r.chunks }
+
+// Count reports the number of events decoded so far.
+func (r *ChunkReader) Count() int64 { return r.events }
+
+// Fingerprint reports the file's fingerprint; valid after the first
+// successful Next.
+func (r *ChunkReader) Fingerprint() uint64 { return r.fingerprint }
+
+// readPayload fills buf to exactly n bytes from r, reusing buf's
+// capacity. Growth happens in bounded steps interleaved with reads, so a
+// corrupt header length is detected by truncation before committing a
+// large allocation.
+func readPayload(r io.Reader, buf []byte, n int) ([]byte, error) {
+	const step = 1 << 20
+	if cap(buf) >= n {
+		buf = buf[:n]
+		_, err := io.ReadFull(r, buf)
+		return buf, err
+	}
+	buf = buf[:0]
+	for len(buf) < n {
+		take := n - len(buf)
+		if take > step {
+			take = step
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, take)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return buf[:start], err
+		}
+	}
+	return buf, nil
+}

@@ -1,0 +1,496 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// writeChunked encodes the buffer's events into a chunked byte stream
+// with the given payload target (tiny targets force many chunks).
+func writeChunked(tb testing.TB, b *Buffer, fingerprint uint64, chunkBytes int) []byte {
+	tb.Helper()
+	var out bytes.Buffer
+	cw := NewChunkWriter(&out, fingerprint, chunkBytes)
+	if err := b.Replay(cw); err != nil {
+		tb.Fatal(err)
+	}
+	if err := cw.Flush(); err != nil {
+		tb.Fatal(err)
+	}
+	if cw.Count() != b.Len() {
+		tb.Fatalf("ChunkWriter.Count = %d, want %d", cw.Count(), b.Len())
+	}
+	return out.Bytes()
+}
+
+// readAllChunks drains a chunked byte stream through a single reused
+// Chunk, collecting every replayed event.
+func readAllChunks(tb testing.TB, data []byte) ([]Event, *ChunkReader) {
+	tb.Helper()
+	cr := NewChunkReader(bytes.NewReader(data))
+	var c Chunk
+	var sink collectSink
+	for {
+		err := cr.Next(&c)
+		if errors.Is(err, io.EOF) {
+			return sink.events, cr
+		}
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if err := c.Replay(&sink); err != nil {
+			tb.Fatal(err)
+		}
+	}
+}
+
+func TestChunkRoundTrip(t *testing.T) {
+	b := benchBuffer(t, 2000)
+	var want collectSink
+	if err := b.Replay(&want); err != nil {
+		t.Fatal(err)
+	}
+	// A tiny chunk target forces many chunks; the default produces one.
+	for _, chunkBytes := range []int{256, 4 << 10, 0} {
+		data := writeChunked(t, b, 0xfeedface, chunkBytes)
+		got, cr := readAllChunks(t, data)
+		if !reflect.DeepEqual(got, want.events) {
+			t.Fatalf("chunkBytes=%d: chunked replay diverged from buffer replay", chunkBytes)
+		}
+		if cr.Count() != b.Len() {
+			t.Errorf("chunkBytes=%d: reader counted %d events, want %d", chunkBytes, cr.Count(), b.Len())
+		}
+		if cr.Fingerprint() != 0xfeedface {
+			t.Errorf("chunkBytes=%d: fingerprint = %#x, want 0xfeedface", chunkBytes, cr.Fingerprint())
+		}
+		if chunkBytes == 256 && cr.Chunks() < 4 {
+			t.Errorf("256-byte chunks produced only %d chunks for %d events", cr.Chunks(), b.Len())
+		}
+	}
+}
+
+func TestChunkEmptyTrace(t *testing.T) {
+	var b Buffer
+	data := writeChunked(t, &b, 7, 0)
+	if len(data) != len(chunkMagic) {
+		t.Fatalf("empty chunked trace is %d bytes, want %d (magic only)", len(data), len(chunkMagic))
+	}
+	events, cr := readAllChunks(t, data)
+	if len(events) != 0 || cr.Chunks() != 0 {
+		t.Fatalf("empty trace decoded %d events in %d chunks", len(events), cr.Chunks())
+	}
+}
+
+// TestChunkCorruptionNamesChunkIndex flips one payload byte in each
+// chunk in turn and checks the reader reports a CRC mismatch naming that
+// chunk's index.
+func TestChunkCorruptionNamesChunkIndex(t *testing.T) {
+	b := benchBuffer(t, 600)
+	data := writeChunked(t, b, 1, 512)
+	// Locate each chunk's payload by re-walking the headers.
+	type span struct{ start, end int }
+	var payloads []span
+	pos := len(chunkMagic)
+	for pos < len(data) {
+		plen := int(uint32(data[pos+4]) | uint32(data[pos+5])<<8 | uint32(data[pos+6])<<16 | uint32(data[pos+7])<<24)
+		start := pos + chunkHeaderSize
+		payloads = append(payloads, span{start, start + plen})
+		pos = start + plen
+	}
+	if len(payloads) < 2 {
+		t.Fatalf("want multiple chunks, got %d", len(payloads))
+	}
+	for i, p := range payloads {
+		corrupt := append([]byte(nil), data...)
+		corrupt[p.start+(p.end-p.start)/2] ^= 0x40
+		cr := NewChunkReader(bytes.NewReader(corrupt))
+		var c Chunk
+		var err error
+		for err == nil {
+			err = cr.Next(&c)
+		}
+		if errors.Is(err, io.EOF) {
+			t.Fatalf("chunk %d: corruption not detected", i)
+		}
+		if want := "chunk " + strconv.Itoa(i); !strings.Contains(err.Error(), want) || !strings.Contains(err.Error(), "crc") {
+			t.Errorf("chunk %d: error %q does not name %q with a crc mismatch", i, err, want)
+		}
+	}
+}
+
+func TestChunkTruncationRejected(t *testing.T) {
+	b := benchBuffer(t, 300)
+	data := writeChunked(t, b, 1, 1024)
+	for _, cut := range []int{len(chunkMagic) - 3, len(chunkMagic) + 10, len(data) / 2, len(data) - 3} {
+		cr := NewChunkReader(bytes.NewReader(data[:cut]))
+		var c Chunk
+		var err error
+		for err == nil {
+			err = cr.Next(&c)
+		}
+		if errors.Is(err, io.EOF) {
+			t.Errorf("truncation at %d of %d bytes not detected", cut, len(data))
+		}
+	}
+	// Not-a-chunked-file magic.
+	cr := NewChunkReader(bytes.NewReader([]byte("odbgctr1junk")))
+	if err := cr.Next(new(Chunk)); !errors.Is(err, ErrBadChunkMagic) {
+		t.Errorf("flat binary magic accepted by chunk reader: %v", err)
+	}
+}
+
+func TestChunkReaderSkip(t *testing.T) {
+	b := benchBuffer(t, 1200)
+	data := writeChunked(t, b, 9, 512)
+	full, fullReader := readAllChunks(t, data)
+	total := fullReader.Chunks()
+	if total < 3 {
+		t.Fatalf("want >= 3 chunks, got %d", total)
+	}
+	// Skip to the last chunk and replay only it.
+	cr := NewChunkReader(bytes.NewReader(data))
+	for i := 0; i < total-1; i++ {
+		if err := cr.SkipChunk(); err != nil {
+			t.Fatalf("skip %d: %v", i, err)
+		}
+	}
+	var c Chunk
+	if err := cr.Next(&c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Index != total-1 {
+		t.Fatalf("Index = %d, want %d", c.Index, total-1)
+	}
+	var sink collectSink
+	if err := c.Replay(&sink); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sink.events, full[len(full)-c.Len():]) {
+		t.Fatal("skipped-to chunk replayed different events than full read")
+	}
+	if err := cr.Next(&c); !errors.Is(err, io.EOF) {
+		t.Fatalf("after last chunk: %v, want EOF", err)
+	}
+}
+
+func TestChunkWideOperandFallback(t *testing.T) {
+	var b Buffer
+	wide := Event{Kind: KindRead, OID: 1 << 40}
+	events := append(bufferTestEvents(), wide)
+	for _, e := range events {
+		if err := b.Emit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.Freeze(); !errors.Is(err, ErrOperandRange) {
+		t.Fatal("buffer unexpectedly froze; wide-operand fixture broken")
+	}
+	data := writeChunked(t, &b, 3, 0)
+	got, _ := readAllChunks(t, data)
+	if !reflect.DeepEqual(got, events) {
+		t.Fatalf("wide-operand chunk replay diverged:\n got %+v\nwant %+v", got, events)
+	}
+}
+
+func TestChunkStreamReplay(t *testing.T) {
+	b := benchBuffer(t, 3000)
+	var want collectSink
+	if err := b.Replay(&want); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "stream.odbgc")
+	if err := os.WriteFile(path, writeChunked(t, b, 42, 1024), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenChunkStream(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != b.Len() {
+		t.Fatalf("stream Len = %d, want %d", s.Len(), b.Len())
+	}
+	if s.Fingerprint() != 42 {
+		t.Fatalf("stream fingerprint = %d, want 42", s.Fingerprint())
+	}
+	if s.Chunks() < 3 {
+		t.Fatalf("stream has %d chunks, want several", s.Chunks())
+	}
+	if s.ResidentBytes() <= 0 || s.ResidentBytes() > 100<<10 {
+		t.Fatalf("ResidentBytes = %d implausible for 1 KB chunks", s.ResidentBytes())
+	}
+	var got collectSink
+	if err := s.Replay(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.events, want.events) {
+		t.Fatal("streamed replay diverged from buffer replay")
+	}
+	// Replays are repeatable (fresh file descriptor per replay).
+	var again collectSink
+	if err := s.Replay(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again.events, want.events) {
+		t.Fatal("second streamed replay diverged")
+	}
+}
+
+func TestChunkStreamHookPosition(t *testing.T) {
+	var b Buffer
+	events := bufferTestEvents()
+	for _, e := range events {
+		if err := b.Emit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "hook.odbgc")
+	// 8-byte chunks: roughly one or two events per chunk, so hook
+	// positions land on and between chunk boundaries.
+	if err := os.WriteFile(path, writeChunked(t, &b, 0, 8), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenChunkStream(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Chunks() < 3 {
+		t.Fatalf("hook fixture has %d chunks, want several", s.Chunks())
+	}
+	for at := int64(0); at <= int64(len(events)); at++ {
+		var seenAtHook int64 = -1
+		sink := &collectSink{}
+		if err := s.ReplayHook(sink, at, func() { seenAtHook = int64(len(sink.events)) }); err != nil {
+			t.Fatal(err)
+		}
+		if seenAtHook != at {
+			t.Errorf("hook at %d fired after %d events", at, seenAtHook)
+		}
+	}
+	fired := false
+	if err := s.ReplayHook(&collectSink{}, -1, func() { fired = true }); err != nil || fired {
+		t.Fatalf("err=%v fired=%v", err, fired)
+	}
+}
+
+func TestChunkStreamEmptyTraceHook(t *testing.T) {
+	var b Buffer
+	path := filepath.Join(t.TempDir(), "empty.odbgc")
+	if err := os.WriteFile(path, writeChunked(t, &b, 0, 0), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenChunkStream(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	if err := s.ReplayHook(&collectSink{}, 0, func() { fired = true }); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("at-start hook did not fire on an empty stream")
+	}
+}
+
+// errSink fails on the Nth emit, exercising early-exit of the prefetch
+// pipeline.
+type errSink struct{ n, failAt int }
+
+var errSinkBoom = errors.New("sink boom")
+
+func (s *errSink) Emit(Event) error {
+	s.n++
+	if s.n >= s.failAt {
+		return errSinkBoom
+	}
+	return nil
+}
+
+func TestChunkStreamSinkErrorStopsPipeline(t *testing.T) {
+	b := benchBuffer(t, 2000)
+	path := filepath.Join(t.TempDir(), "err.odbgc")
+	if err := os.WriteFile(path, writeChunked(t, b, 0, 512), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenChunkStream(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Replay(&errSink{failAt: 700}); !errors.Is(err, errSinkBoom) {
+		t.Fatalf("err = %v, want sink error", err)
+	}
+}
+
+func TestSniffFormat(t *testing.T) {
+	cases := []struct {
+		name, want string
+		data       []byte
+	}{
+		{"chunked", FormatChunked, append(append([]byte{}, chunkMagic[:]...), 0, 0)},
+		{"binary", FormatBinary, magic[:]},
+		{"jsonl", FormatJSONL, []byte(`{"k":"read","oid":1}` + "\n")},
+		{"short jsonl", FormatJSONL, []byte(`{`)},
+	}
+	for _, tc := range cases {
+		got, err := SniffFormat(bytes.NewReader(tc.data))
+		if err != nil || got != tc.want {
+			t.Errorf("%s: SniffFormat = %q, %v; want %q", tc.name, got, err, tc.want)
+		}
+	}
+	for _, bad := range [][]byte{{}, []byte("not a trace"), []byte("odbgct")} {
+		if got, err := SniffFormat(bytes.NewReader(bad)); err == nil {
+			t.Errorf("SniffFormat(%q) = %q, want error", bad, got)
+		}
+	}
+}
+
+func TestAsyncWriter(t *testing.T) {
+	var out bytes.Buffer
+	aw := NewAsyncWriter(&out, 2)
+	var want bytes.Buffer
+	buf := make([]byte, 300)
+	for i := 0; i < 50; i++ {
+		for j := range buf {
+			buf[j] = byte(i)
+		}
+		want.Write(buf)
+		if _, err := aw.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want.Bytes()) {
+		t.Fatal("async writes arrived out of order or corrupted")
+	}
+}
+
+// failWriter fails after n bytes.
+type failWriter struct{ left int }
+
+var errFailWriter = errors.New("disk full")
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.left -= len(p)
+	if w.left < 0 {
+		return 0, errFailWriter
+	}
+	return len(p), nil
+}
+
+func TestAsyncWriterPropagatesError(t *testing.T) {
+	aw := NewAsyncWriter(&failWriter{left: 100}, 2)
+	var sawErr bool
+	for i := 0; i < 50; i++ {
+		if _, err := aw.Write(make([]byte, 64)); err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if err := aw.Close(); err == nil && !sawErr {
+		t.Fatal("write error never surfaced")
+	}
+}
+
+// Chunk replay is the per-event fast path of streamed simulation; a
+// replay step must not allocate, and emitting into a chunk writer must
+// not allocate in steady state. ReplayHook and Emit carry the
+// //odbgc:hotpath annotation checked by the hotalloc analyzer;
+// TestHotpathAnnotationsMatchGuards in internal/analysis keeps the
+// annotations and these guards in sync via the declaration below.
+//
+//odbgc:allocguard trace.Chunk.ReplayHook trace.ChunkWriter.Emit
+func TestChunkReplayZeroAllocs(t *testing.T) {
+	b := benchBuffer(t, 512)
+	data := writeChunked(t, b, 0, 0)
+	cr := NewChunkReader(bytes.NewReader(data))
+	var c Chunk
+	if err := cr.Next(&c); err != nil {
+		t.Fatal(err)
+	}
+	var sink benchSink
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := c.Replay(&sink); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("chunk replay: %v allocs per full replay, want 0", allocs)
+	}
+
+	// Writer steady state: the payload buffer and header are reused, so
+	// emitting a full chunk cycle (including the flush) allocates
+	// nothing once the CRC table exists.
+	events := bufferTestEvents()
+	cw := NewChunkWriter(io.Discard, 1, 1024)
+	for _, e := range events { // warm up: first flush builds the CRC table
+		if err := cw.Emit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(50, func() {
+		for i := 0; i < 40; i++ {
+			for _, e := range events {
+				if err := cw.Emit(e); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("chunk writer emit: %v allocs per 40 chunk cycles, want 0", allocs)
+	}
+}
+
+// BenchmarkChunkReplay measures one replay step of a decoded chunk —
+// the streamed counterpart of BenchmarkFrozenReplay.
+func BenchmarkChunkReplay(b *testing.B) {
+	const events = 4096
+	data := writeChunked(b, benchBuffer(b, events), 0, 0)
+	cr := NewChunkReader(bytes.NewReader(data))
+	var c Chunk
+	if err := cr.Next(&c); err != nil {
+		b.Fatal(err)
+	}
+	var sink benchSink
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += events {
+		if err := c.Replay(&sink); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChunkStreamReplay measures the full streamed pipeline per
+// event: file read, CRC, columnar decode on the prefetch goroutine, and
+// the zero-alloc drain.
+func BenchmarkChunkStreamReplay(b *testing.B) {
+	const events = 1 << 16
+	path := filepath.Join(b.TempDir(), "bench.odbgc")
+	if err := os.WriteFile(path, writeChunked(b, benchBuffer(b, events), 0, 64<<10), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	s, err := OpenChunkStream(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sink benchSink
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += events {
+		if err := s.Replay(&sink); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -223,11 +223,21 @@ func (r *Reader) Next() (Event, error) {
 // Count reports the number of events decoded so far.
 func (r *Reader) Count() int64 { return r.count }
 
+// An EventSource yields events one at a time until io.EOF — the reader
+// half of every trace codec (Reader, JSONLReader).
+type EventSource interface {
+	Next() (Event, error)
+}
+
 // Copy streams every event from r into sink, returning the number copied.
-func Copy(sink Sink, r *Reader) (int64, error) {
+func Copy(sink Sink, r *Reader) (int64, error) { return CopyFrom(sink, r) }
+
+// CopyFrom streams every event from src into sink, returning the number
+// copied.
+func CopyFrom(sink Sink, src EventSource) (int64, error) {
 	var n int64
 	for {
-		e, err := r.Next()
+		e, err := src.Next()
 		if errors.Is(err, io.EOF) {
 			return n, nil
 		}

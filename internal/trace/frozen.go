@@ -62,13 +62,23 @@ func (b *Buffer) Freeze() (*Frozen, error) {
 
 // push appends one event to the columns.
 func (f *Frozen) push(e Event) error {
+	var err error
+	f.kinds, f.args, err = pushColumns(f.kinds, f.args, e)
+	return err
+}
+
+// pushColumns appends one event's kind and operands to the shared
+// columnar layout used by both Frozen (whole-trace columns) and Chunk
+// (per-chunk columns). On error the columns are returned unchanged.
+func pushColumns(kinds []Kind, args []uint32, e Event) ([]Kind, []uint32, error) {
 	ok := true
+	a := args
 	put := func(v uint64) {
 		if v > math.MaxUint32 {
 			ok = false
 			return
 		}
-		f.args = append(f.args, uint32(v))
+		a = append(a, uint32(v))
 	}
 	switch e.Kind {
 	case KindCreate:
@@ -86,13 +96,12 @@ func (f *Frozen) push(e Event) error {
 		put(uint64(e.Field))
 		put(uint64(e.Target))
 	default:
-		return fmt.Errorf("trace: unknown kind %d", e.Kind)
+		return kinds, args, fmt.Errorf("trace: unknown kind %d", e.Kind)
 	}
 	if !ok {
-		return ErrOperandRange
+		return kinds, args, ErrOperandRange
 	}
-	f.kinds = append(f.kinds, e.Kind)
-	return nil
+	return append(kinds, e.Kind), a, nil
 }
 
 // Len reports the number of frozen events.
@@ -114,13 +123,23 @@ func (f *Frozen) Replay(sink Sink) error { return f.ReplayHook(sink, -1, nil) }
 //
 //odbgc:hotpath
 func (f *Frozen) ReplayHook(sink Sink, at int64, hook func()) error {
+	return replayColumns(f.kinds, f.args, sink, at, hook)
+}
+
+// replayColumns is the shared zero-alloc columnar replay loop behind
+// Frozen.ReplayHook and Chunk.ReplayHook: each event is reassembled from
+// sequential column reads with no varint decoding and no heap allocation
+// (pinned by the frozen- and chunk-replay AllocsPerRun guards). The hook
+// position `at` is relative to the start of the columns.
+//
+//odbgc:hotpath
+func replayColumns(kinds []Kind, args []uint32, sink Sink, at int64, hook func()) error {
 	if hook != nil && at == 0 {
 		hook()
 		hook = nil
 	}
-	args := f.args
 	a := 0
-	for n, k := range f.kinds {
+	for n, k := range kinds {
 		var e Event
 		e.Kind = k
 		switch k {

@@ -107,7 +107,7 @@ func TestFrozenSizeBytes(t *testing.T) {
 // TestHotpathAnnotationsMatchGuards in internal/analysis keeps the
 // annotation and this guard in sync via the declaration below.
 //
-//odbgc:allocguard trace.Frozen.ReplayHook
+//odbgc:allocguard trace.Frozen.ReplayHook trace.replayColumns
 func TestFrozenReplayZeroAllocs(t *testing.T) {
 	b := benchBuffer(t, 256)
 	f, err := b.Freeze()

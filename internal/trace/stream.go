@@ -1,0 +1,317 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Format names for the three on-disk trace encodings, as reported by
+// SniffFormat and accepted by the CLI -format flags.
+const (
+	FormatBinary  = "binary"
+	FormatJSONL   = "jsonl"
+	FormatChunked = "chunked"
+)
+
+// SniffFormat reports which codec wrote the stream by examining its
+// leading bytes — the chunked magic, the flat binary magic, or a JSONL
+// '{' — leaving r positioned back at the start. Unrecognized content is
+// an error, so callers never mis-decode a file based on a flag.
+func SniffFormat(r io.ReadSeeker) (string, error) {
+	var first [8]byte
+	n, err := io.ReadFull(r, first[:])
+	if err != nil && !errors.Is(err, io.ErrUnexpectedEOF) {
+		if errors.Is(err, io.EOF) {
+			return "", fmt.Errorf("trace: empty trace file")
+		}
+		return "", err
+	}
+	if _, err := r.Seek(0, io.SeekStart); err != nil {
+		return "", err
+	}
+	switch {
+	case n >= 8 && first == chunkMagic:
+		return FormatChunked, nil
+	case n >= 8 && first == magic:
+		return FormatBinary, nil
+	case n >= 1 && first[0] == '{':
+		return FormatJSONL, nil
+	}
+	return "", fmt.Errorf("trace: unrecognized trace file (no odbgc magic and not JSONL)")
+}
+
+// ChunkStream is a replayable handle on a chunked trace file. Opening
+// one scans only the chunk headers (seeking over payloads), so the
+// handle knows the trace's totals without reading the data; each Replay
+// then streams the file through a double-buffered prefetch pipeline — a
+// background goroutine reads and CRC-verifies and decodes chunk N+1
+// while the caller's sink drains chunk N through the zero-alloc columnar
+// replay loop. Memory is bounded by two chunks regardless of trace size.
+//
+// A ChunkStream holds no open file descriptor; each Replay opens its
+// own, so one handle may be replayed from any number of goroutines
+// concurrently (the paper's one-trace-many-policies discipline).
+type ChunkStream struct {
+	path        string
+	sizeBytes   int64
+	events      int64
+	chunks      int
+	fingerprint uint64
+	maxPayload  int
+}
+
+// OpenChunkStream opens path as a chunked trace, validating the magic
+// and every chunk header (index order, payload bounds, fingerprint
+// consistency, no truncation). Payload CRCs are verified during replay,
+// when the data is read anyway.
+func OpenChunkStream(path string) (*ChunkStream, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	s := &ChunkStream{path: path, sizeBytes: st.Size()}
+
+	var got [8]byte
+	if _, err := io.ReadFull(f, got[:]); err != nil {
+		return nil, fmt.Errorf("%w: truncated header", ErrBadChunkMagic)
+	}
+	if got != chunkMagic {
+		return nil, ErrBadChunkMagic
+	}
+	offset := int64(len(chunkMagic))
+	var hdr [chunkHeaderSize]byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return s, nil // clean end
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil, fmt.Errorf("trace: chunk %d: truncated header: %w", s.chunks, io.ErrUnexpectedEOF)
+			}
+			return nil, err
+		}
+		h, err := parseChunkHeader(hdr, s.chunks, s.fingerprint)
+		if err != nil {
+			return nil, err
+		}
+		offset += chunkHeaderSize + int64(h.plen)
+		if offset > s.sizeBytes {
+			return nil, fmt.Errorf("trace: chunk %d: truncated payload (file ends %d bytes short)", s.chunks, offset-s.sizeBytes)
+		}
+		if _, err := f.Seek(offset, io.SeekStart); err != nil {
+			return nil, err
+		}
+		if s.chunks == 0 {
+			s.fingerprint = h.fp
+		}
+		s.chunks++
+		s.events += int64(h.events)
+		if int(h.plen) > s.maxPayload {
+			s.maxPayload = int(h.plen)
+		}
+	}
+}
+
+// Path reports the file the stream replays from.
+func (s *ChunkStream) Path() string { return s.path }
+
+// Len reports the total number of events in the trace.
+func (s *ChunkStream) Len() int64 { return s.events }
+
+// Chunks reports the number of chunks in the trace.
+func (s *ChunkStream) Chunks() int { return s.chunks }
+
+// Fingerprint reports the generating configuration's fingerprint stamped
+// in the chunk headers (0 for an empty trace).
+func (s *ChunkStream) Fingerprint() uint64 { return s.fingerprint }
+
+// SizeBytes reports the on-disk size of the trace file.
+func (s *ChunkStream) SizeBytes() int64 { return s.sizeBytes }
+
+// ResidentBytes estimates the peak memory one replay of the stream
+// holds: two pipeline slots, each with the largest payload plus its
+// decoded columns (at most one Kind and four uint32 column bytes per
+// payload byte, in practice ~4x). This — not the trace size — is what
+// trace caches charge against their budget for a streamed trace.
+func (s *ChunkStream) ResidentBytes() int64 { return 2 * 5 * int64(s.maxPayload) }
+
+// Replay streams every event in the file into sink in recording order.
+func (s *ChunkStream) Replay(sink Sink) error { return s.ReplayHook(sink, -1, nil) }
+
+// ReplayHook streams every event into sink, invoking hook once after
+// exactly `at` events have been delivered (a negative at or nil hook
+// disables the callback), with the same semantics as Buffer.ReplayHook.
+// Reading, CRC verification, and columnar decoding of the next chunk
+// proceed on a prefetch goroutine while the current chunk drains.
+func (s *ChunkStream) ReplayHook(sink Sink, at int64, hook func()) error {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cr := NewChunkReader(bufio.NewReaderSize(f, 1<<20))
+
+	// Two chunk slots rotate between the prefetcher and the drain loop.
+	decoded := make(chan *Chunk)
+	free := make(chan *Chunk, 2)
+	free <- new(Chunk)
+	free <- new(Chunk)
+	stop := make(chan struct{})
+	readErr := make(chan error, 1)
+	go func() {
+		defer close(decoded)
+		for {
+			var c *Chunk
+			select {
+			case c = <-free:
+			case <-stop:
+				return
+			}
+			if err := cr.Next(c); err != nil {
+				if !errors.Is(err, io.EOF) {
+					readErr <- err
+				}
+				return
+			}
+			select {
+			case decoded <- c:
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	var delivered int64
+	var sinkErr error
+	for c := range decoded {
+		var h func()
+		localAt := int64(-1)
+		if hook != nil && at >= 0 && at-delivered <= int64(c.Len()) {
+			localAt = at - delivered
+			h = hook
+			hook = nil // fires inside this chunk's replay
+		}
+		if err := c.ReplayHook(sink, localAt, h); err != nil {
+			sinkErr = err
+			break
+		}
+		delivered += int64(c.Len())
+		free <- c // cap 2 and only two slots exist: never blocks
+	}
+	close(stop)
+	if sinkErr != nil {
+		return sinkErr
+	}
+	select {
+	case err := <-readErr:
+		return err
+	default:
+	}
+	// An empty trace still owes an at-the-start hook.
+	if hook != nil && at == 0 {
+		hook()
+	}
+	if delivered != s.events {
+		return fmt.Errorf("trace: %s: replay delivered %d events, header scan counted %d (file changed since open?)", s.path, delivered, s.events)
+	}
+	return nil
+}
+
+// AsyncWriter pipelines writes to an underlying stream through a
+// background goroutine: Write copies p into a recycled buffer and
+// returns as soon as the copy is queued, so a producer (trace
+// generation, chunk encoding) overlaps with file I/O. Memory is bounded
+// by the buffer pool. Close waits for all queued writes and reports the
+// first write error; Write reports a prior asynchronous error on a later
+// call.
+type AsyncWriter struct {
+	queue chan []byte
+	pool  chan []byte
+	done  chan struct{}
+	err   error // written by the worker before done closes
+}
+
+// NewAsyncWriter returns an AsyncWriter over w with depth recycled
+// buffers (depth <= 0 selects 2).
+func NewAsyncWriter(w io.Writer, depth int) *AsyncWriter {
+	if depth <= 0 {
+		depth = 2
+	}
+	a := &AsyncWriter{
+		queue: make(chan []byte, depth),
+		pool:  make(chan []byte, depth),
+		done:  make(chan struct{}),
+	}
+	for i := 0; i < depth; i++ {
+		a.pool <- nil
+	}
+	go func() {
+		defer close(a.done)
+		for buf := range a.queue {
+			if a.err == nil {
+				if _, err := w.Write(buf); err != nil {
+					a.err = err
+				}
+			}
+			a.pool <- buf
+		}
+	}()
+	return a
+}
+
+// Write implements io.Writer. The data is copied before Write returns,
+// so the caller may immediately reuse p.
+func (a *AsyncWriter) Write(p []byte) (int, error) {
+	select {
+	case <-a.done:
+		return 0, fmt.Errorf("trace: write after Close of AsyncWriter")
+	default:
+	}
+	buf := <-a.pool
+	buf = append(buf[:0], p...)
+	a.queue <- buf
+	return len(p), nil
+}
+
+// Close drains the queue, stops the worker, and returns the first error
+// any asynchronous write hit. It does not close the underlying stream.
+func (a *AsyncWriter) Close() error {
+	close(a.queue)
+	<-a.done
+	return a.err
+}
+
+// parseChunkHeader decodes and validates one chunk header against the
+// expected index and (for chunks past the first) fingerprint.
+type chunkHeader struct {
+	events, plen, index, crc uint32
+	fp                       uint64
+}
+
+func parseChunkHeader(hdr [chunkHeaderSize]byte, expectIndex int, expectFP uint64) (chunkHeader, error) {
+	h := chunkHeader{
+		events: binary.LittleEndian.Uint32(hdr[0:4]),
+		plen:   binary.LittleEndian.Uint32(hdr[4:8]),
+		index:  binary.LittleEndian.Uint32(hdr[8:12]),
+		crc:    binary.LittleEndian.Uint32(hdr[12:16]),
+		fp:     binary.LittleEndian.Uint64(hdr[16:24]),
+	}
+	switch {
+	case h.index != uint32(expectIndex):
+		return h, fmt.Errorf("trace: chunk %d: header names chunk %d (missing or reordered chunk)", expectIndex, h.index)
+	case h.plen > maxChunkPayload:
+		return h, fmt.Errorf("trace: chunk %d: implausible payload length %d", expectIndex, h.plen)
+	case expectIndex > 0 && h.fp != expectFP:
+		return h, fmt.Errorf("trace: chunk %d: fingerprint %#016x differs from chunk 0's %#016x (mixed trace files?)", expectIndex, h.fp, expectFP)
+	}
+	return h, nil
+}

@@ -10,6 +10,7 @@ package workload
 
 import (
 	"fmt"
+	"hash/fnv"
 
 	"odbgc/internal/trace"
 )
@@ -147,3 +148,14 @@ func (c Config) Validate() error {
 // generated database: each node has one incoming tree edge plus
 // DenseEdgeFraction expected dense edges.
 func (c Config) Connectivity() float64 { return 1 + c.DenseEdgeFraction }
+
+// Fingerprint hashes the full configuration (seed included) to a 64-bit
+// value stamped into every chunk of a streamed trace file, so replay
+// tooling can tell which generation produced a file and reject chunks
+// from mixed files. FNV-1a over the configuration's printed form keeps
+// it deterministic across runs and platforms.
+func (c Config) Fingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", c)
+	return h.Sum64()
+}

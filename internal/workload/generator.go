@@ -63,6 +63,9 @@ type tree struct {
 	// compacted lazily. aliveCount is the exact number of alive nodes.
 	alive      []heap.OID
 	aliveCount int
+	// idx is the tree's position in Generator.trees (and its slot in the
+	// Fenwick index), -1 until the tree is registered.
+	idx int
 }
 
 // Generator emits the synthetic application trace. It is single-use: one
@@ -79,6 +82,13 @@ type Generator struct {
 	nodes      []node
 	nextOID    heap.OID
 	totalAlive int
+	// treeBIT is a 1-based Fenwick index over the trees' aliveCount, so
+	// the alive-weighted tree pick in pickTree is O(log trees). Chopped-
+	// down trees stay in the list forever (the live setpoint replaces
+	// them with fresh ones), so with a long churn phase the tree count
+	// grows linearly with total allocation and a linear scan per
+	// deletion turns the whole run quadratic.
+	treeBIT []int
 
 	liveBytes  int64
 	allocBytes int64
@@ -210,6 +220,9 @@ func (g *Generator) createNode(t *tree, parent heap.OID, parentField int) (heap.
 	t.alive = append(t.alive, oid)
 	t.aliveCount++
 	g.totalAlive++
+	if t.idx >= 0 {
+		g.bitAdd(t.idx, 1)
+	}
 	if parent != heap.NilOID {
 		g.nodes[parent].kids[parentField] = oid
 	}
@@ -258,7 +271,7 @@ func (g *Generator) buildTreeSized(target int) error {
 	if target < 2 {
 		target = 2
 	}
-	t := &tree{}
+	t := &tree{idx: -1}
 	root, err := g.createNode(t, heap.NilOID, 0)
 	if err != nil {
 		return err
@@ -267,7 +280,10 @@ func (g *Generator) buildTreeSized(target int) error {
 	if err := g.emit(trace.Event{Kind: trace.KindRoot, OID: root}); err != nil {
 		return err
 	}
+	t.idx = len(g.trees)
 	g.trees = append(g.trees, t)
+	g.bitAppend()
+	g.bitAdd(t.idx, t.aliveCount) // the root, created before registration
 	g.stats.Trees++
 
 	// Breadth-first fill: attach children left-to-right, level by level.
@@ -321,19 +337,50 @@ func (g *Generator) pickTreeUniform() *tree {
 // pickTree returns a random tree weighted by its alive node count — the
 // tree containing a uniformly random alive node of the forest. Deletions
 // use it so that "randomly deleting tree edges" picks a uniformly random
-// edge of the whole forest.
+// edge of the whole forest. The Fenwick descend finds the first tree
+// whose cumulative alive count exceeds r — the same tree a linear scan
+// in list order would select, in O(log trees).
 func (g *Generator) pickTree() *tree {
 	if g.totalAlive == 0 {
 		return nil
 	}
 	r := g.rng.Intn(g.totalAlive)
-	for _, t := range g.trees {
-		if r < t.aliveCount {
-			return t
-		}
-		r -= t.aliveCount
+	idx := 0
+	mask := 1
+	for mask*2 <= len(g.treeBIT) {
+		mask *= 2
 	}
-	return nil // unreachable while accounting is consistent
+	for ; mask > 0; mask >>= 1 {
+		if next := idx + mask; next <= len(g.treeBIT) && g.treeBIT[next-1] <= r {
+			r -= g.treeBIT[next-1]
+			idx = next
+		}
+	}
+	return g.trees[idx]
+}
+
+// bitAdd adds delta to tree idx's alive count in the Fenwick index.
+func (g *Generator) bitAdd(idx, delta int) {
+	for i := idx + 1; i <= len(g.treeBIT); i += i & -i {
+		g.treeBIT[i-1] += delta
+	}
+}
+
+// bitPrefix returns the summed alive count of the first n trees.
+func (g *Generator) bitPrefix(n int) int {
+	s := 0
+	for i := n; i > 0; i -= i & -i {
+		s += g.treeBIT[i-1]
+	}
+	return s
+}
+
+// bitAppend extends the Fenwick index by one zero-valued slot. The new
+// cell subsumes the lowbit-sized range ending at it, so its initial
+// value is that range's current sum.
+func (g *Generator) bitAppend() {
+	i := len(g.treeBIT) + 1
+	g.treeBIT = append(g.treeBIT, g.bitPrefix(i-1)-g.bitPrefix(i-i&-i))
 }
 
 // traversalAction performs one visit action: none, a partial depth-first
@@ -455,6 +502,7 @@ func (g *Generator) deleteRandomEdge() (bool, error) {
 // killSubtree marks the subtree rooted at oid dead in the generator's
 // model and subtracts its bytes from the live estimate.
 func (g *Generator) killSubtree(t *tree, oid heap.OID) {
+	killed := 0
 	stack := []heap.OID{oid}
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
@@ -466,12 +514,16 @@ func (g *Generator) killSubtree(t *tree, oid heap.OID) {
 		n.alive = false
 		t.aliveCount--
 		g.totalAlive--
+		killed++
 		g.liveBytes -= n.size + n.large
 		for _, kid := range n.kids {
 			if kid != heap.NilOID {
 				stack = append(stack, kid)
 			}
 		}
+	}
+	if killed > 0 {
+		g.bitAdd(t.idx, -killed)
 	}
 }
 

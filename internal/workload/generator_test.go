@@ -172,6 +172,35 @@ func TestGeneratedTraceIsWellFormed(t *testing.T) {
 	}
 }
 
+// TestTreePickIndexConsistency checks the Fenwick index behind the
+// alive-weighted tree pick against the trees' own alive counts after a
+// full run with heavy churn: every prefix sum must equal the linear sum
+// a scan would have computed, or pickTree silently picks wrong trees.
+func TestTreePickIndexConsistency(t *testing.T) {
+	cfg := smallConfig()
+	cfg.TotalAllocBytes = 400_000 // several grow/delete cycles
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(newModelSink(t)); err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for i, tr := range g.trees {
+		if tr.idx != i {
+			t.Fatalf("tree %d has idx %d", i, tr.idx)
+		}
+		sum += tr.aliveCount
+		if got := g.bitPrefix(i + 1); got != sum {
+			t.Fatalf("bitPrefix(%d) = %d, linear sum = %d", i+1, got, sum)
+		}
+	}
+	if sum != g.totalAlive {
+		t.Fatalf("sum of aliveCount = %d, totalAlive = %d", sum, g.totalAlive)
+	}
+}
+
 func TestGeneratorLiveEstimateTracksModel(t *testing.T) {
 	cfg := smallConfig()
 	g, err := New(cfg)

@@ -3,6 +3,7 @@ package workload
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 
 	"odbgc/internal/trace"
@@ -20,22 +21,28 @@ import (
 // are bit-identical to running the generator live: same events, same
 // order, same build-phase boundary.
 //
-// The stream is held twice: Buffer is the packed opcode+uvarint encoding
-// (compact, archival — what the file codec writes), and Frozen is its
-// decode-once columnar form. Record freezes the buffer a single time;
-// every Replay then reads the frozen columns, so no varint decoding
-// happens per (seed, policy) pair.
+// An in-memory trace (Record) holds the stream twice: Buffer is the
+// packed opcode+uvarint encoding (compact, archival — what the file
+// codec writes), and Frozen is its decode-once columnar form. Record
+// freezes the buffer a single time; every Replay then reads the frozen
+// columns, so no varint decoding happens per (seed, policy) pair. A
+// streamed trace (RecordStreamed, OpenStreamed) holds neither: Stream
+// replays a chunked file through the prefetch pipeline at two chunks of
+// resident memory.
 type RecordedTrace struct {
 	// Config is the generating configuration (including the seed).
 	Config Config
 	// Stats is the generator's trace summary.
 	Stats Stats
-	// Buffer holds the packed events.
+	// Buffer holds the packed events; nil for a streamed trace.
 	Buffer *trace.Buffer
-	// Frozen is the decode-once columnar form of Buffer, nil only for
-	// traces whose operands exceed its 32-bit columns (replay then falls
-	// back to decoding the packed form).
+	// Frozen is the decode-once columnar form of Buffer, nil for a
+	// streamed trace and for traces whose operands exceed its 32-bit
+	// columns (replay then falls back to decoding the packed form).
 	Frozen *trace.Frozen
+	// Stream replays a chunked on-disk trace; nil for an in-memory
+	// trace. Exactly one of Buffer and Stream is non-nil.
+	Stream *trace.ChunkStream
 	// BuildEvents is the number of events emitted before the generator's
 	// build-complete hook fired (the build/churn boundary), or -1 if the
 	// generator never fired it. Warm-start replays reset measurement
@@ -81,15 +88,24 @@ func (rt *RecordedTrace) Replay(sink trace.Sink, buildDone func()) error {
 	} else {
 		buildDone = nil
 	}
-	if rt.Frozen != nil {
+	switch {
+	case rt.Frozen != nil:
 		return rt.Frozen.ReplayHook(sink, at, buildDone)
+	case rt.Stream != nil:
+		return rt.Stream.ReplayHook(sink, at, buildDone)
 	}
 	return rt.Buffer.ReplayHook(sink, at, buildDone)
 }
 
 // SizeBytes is the trace's memory footprint for cache accounting: the
-// packed encoding plus the frozen columns.
+// packed encoding plus the frozen columns for an in-memory trace, or the
+// replay pipeline's resident bytes — not the on-disk size — for a
+// streamed one. That difference is the point of spilling: a 100-million-
+// event trace charges the cache two chunks, not gigabytes.
 func (rt *RecordedTrace) SizeBytes() int64 {
+	if rt.Stream != nil {
+		return rt.Stream.ResidentBytes()
+	}
 	n := rt.Buffer.SizeBytes()
 	if rt.Frozen != nil {
 		n += rt.Frozen.SizeBytes()
@@ -131,6 +147,13 @@ type TraceCache struct {
 	head, tail int32 // LRU order: head = most recent
 	free       int32 // free-slot chain (through cacheNode.next)
 	stats      CacheStats
+
+	// Spill mode (EnableSpill): configurations whose TotalAllocBytes
+	// meets spillMin generate straight to chunked files in spillDir and
+	// charge the cache their replay pipeline's resident bytes instead of
+	// the whole trace.
+	spillDir string
+	spillMin int64
 }
 
 // nilNode terminates node chains.
@@ -155,9 +178,12 @@ type genResult struct {
 	err   error
 }
 
-// recordTrace is Record, indirected so cache tests can inject failing or
-// panicking generations.
-var recordTrace = Record
+// recordTrace and recordStreamedTrace are Record and RecordStreamed,
+// indirected so cache tests can inject failing or panicking generations.
+var (
+	recordTrace         = Record
+	recordStreamedTrace = RecordStreamed
+)
 
 // NewTraceCache returns a cache bounded to budget bytes of recorded
 // trace data; budget <= 0 disables eviction (unbounded).
@@ -169,6 +195,34 @@ func NewTraceCache(budget int64) *TraceCache {
 		tail:    nilNode,
 		free:    nilNode,
 	}
+}
+
+// EnableSpill directs the cache to generate any configuration whose
+// TotalAllocBytes is at least minAllocBytes straight to a chunked trace
+// file under dir instead of holding it in memory. Spilled traces charge
+// the budget their replay pipeline's resident bytes (two chunks), so the
+// Figure 6 sweep's largest seeds no longer evict everything else. The
+// caller owns dir's lifetime; evicting a spilled entry does not delete
+// its file (outstanding holders may still be replaying it), so pass a
+// directory whose cleanup is scheduled, such as a test TempDir.
+func (c *TraceCache) EnableSpill(dir string, minAllocBytes int64) {
+	c.mu.Lock()
+	c.spillDir, c.spillMin = dir, minAllocBytes
+	c.mu.Unlock()
+}
+
+// generate produces cfg's trace by the mode the cache is configured for:
+// in memory, or spilled to a chunked file when cfg allocates enough to
+// cross the spill threshold.
+func (c *TraceCache) generate(cfg Config) (*RecordedTrace, error) {
+	c.mu.Lock()
+	dir, min := c.spillDir, c.spillMin
+	c.mu.Unlock()
+	if dir != "" && cfg.TotalAllocBytes >= min {
+		path := filepath.Join(dir, fmt.Sprintf("trace-%016x.odbgcck", cfg.Fingerprint()))
+		return recordStreamedTrace(cfg, path, 0)
+	}
+	return recordTrace(cfg)
 }
 
 // Get returns cfg's recorded trace, generating it on first use. Callers
@@ -209,7 +263,7 @@ func (c *TraceCache) Get(cfg Config) (*RecordedTrace, error) {
 		close(res.ready)
 		panic(r)
 	}()
-	rt, err := recordTrace(cfg)
+	rt, err := c.generate(cfg)
 	completed = true
 	res.rt, res.err = rt, err
 
