@@ -20,7 +20,7 @@ go build -o bin/odbgc-vet ./cmd/odbgc-vet
 go vet -vettool="$(pwd)/bin/odbgc-vet" ./...
 go build ./...
 go test ./...
-go test -race ./internal/sim ./internal/gc
+go test -race ./internal/sim ./internal/gc ./internal/shard
 # Scheduler / trace-cache smoke under the race detector: the suite-wide
 # orchestration (worker pool + shared cache) and the cache's concurrent
 # generation paths.
@@ -33,6 +33,10 @@ go test -run '^$' -fuzz '^FuzzChunkCodec$' -fuzztime 5s ./internal/trace
 # Audited-simulator fuzz smoke: random valid event streams through a
 # simulator running the full invariant catalog after every collection.
 go test -run '^$' -fuzz '^FuzzAuditedSim$' -fuzztime 5s ./internal/check
+# Shard-router fuzz smoke: random create/lookup streams through both
+# assignment policies must keep per-shard OID spaces dense and totals
+# consistent, erroring (never panicking) on malformed streams.
+go test -run '^$' -fuzz '^FuzzShardRouter$' -fuzztime 5s ./internal/shard
 # Differential self-check: every policy audited and re-run through the
 # slow reference paths (packed/frozen, streamed/frozen, cached/fresh,
 # serial/parallel, eager/buffered barrier); any divergence or invariant
@@ -48,3 +52,11 @@ trap 'rm -rf "$stream_tmp"' EXIT
 go run ./cmd/tracegen -o "$stream_tmp/stream.odbgcck" -format chunked -alloc 50000000
 GOMEMLIMIT=192MiB go run ./cmd/gcsim -trace "$stream_tmp/stream.odbgcck"
 GOMEMLIMIT=64MiB go run ./cmd/traceinfo -chunk 0 "$stream_tmp/stream.odbgcck"
+# Sharded smoke: the same streamed replay demultiplexed onto 4 shard
+# goroutines with cross-shard remset exchange — once under the race
+# detector on a cross-tree trace (the exchange protocol is the one place
+# goroutines share data), once under the memory ceiling to show the
+# sharded path inherits the streaming pipeline's constant-memory bound.
+go run ./cmd/tracegen -o "$stream_tmp/cross.odbgcck" -format chunked -alloc 10000000 -cross 0.2
+go run -race ./cmd/gcsim -trace "$stream_tmp/cross.odbgcck" -shards 4 -epoch-events 4096
+GOMEMLIMIT=192MiB go run ./cmd/gcsim -trace "$stream_tmp/stream.odbgcck" -shards 4

@@ -10,6 +10,7 @@
 //	go run ./cmd/benchrun -suite
 //	go run ./cmd/benchrun -pagebuf
 //	go run ./cmd/benchrun -stream
+//	go run ./cmd/benchrun -sharded
 //
 // -suite is a preset for the orchestration benchmark: it runs
 // BenchmarkSuiteWallClock (serial vs serial+cache vs parallel+cache) in
@@ -32,9 +33,19 @@
 // -stream-events overrides the target event count (for quick checks);
 // -label and -out still override.
 //
+// -sharded is a preset for the partition-sharded replay engine: it
+// generates one 500M+ event chunked trace with cross-tree edges, replays
+// it through internal/shard at 1, 2, 4, and 8 shards (each leg a fresh
+// worker process for clean peak-RSS numbers), and records events/sec,
+// busy-time decomposition, shard_local_scaling, imbalance, and exchange
+// volume into results/bench/BENCH_sharded.json. -sharded-events
+// overrides the target event count (for quick checks).
+//
 // The file is written to -out (default ".") as BENCH_<label>.json and holds
 // one record per benchmark: name, iterations, ns/op, B/op, allocs/op, and
-// every custom metric the benchmark reported (app_ios, fraction_pct, ...).
+// every custom metric the benchmark reported (app_ios, fraction_pct, ...),
+// stamped with the host's go version, GOOS/GOARCH, GOMAXPROCS, and — for
+// the trace-streaming presets — the chunk payload target.
 package main
 
 import (
@@ -68,7 +79,9 @@ type Report struct {
 	GoVersion  string      `json:"go_version"`
 	GOOS       string      `json:"goos"`
 	GOARCH     string      `json:"goarch"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
 	CPU        string      `json:"cpu,omitempty"`
+	ChunkBytes int         `json:"chunk_bytes,omitempty"`
 	Packages   string      `json:"packages"`
 	BenchRegex string      `json:"bench_regex"`
 	Benchtime  string      `json:"benchtime"`
@@ -98,10 +111,34 @@ func main() {
 	pagebuf := flag.Bool("pagebuf", false, "preset: record the page-buffer and frozen-replay fast-path benchmarks plus Table2/CollectorOnly to results/bench/BENCH_<label>.json")
 	stream := flag.Bool("stream", false, "preset: record the chunked streaming pipeline (generate, drain, simulate a 100M+ event trace) to results/bench/BENCH_stream.json")
 	streamEvents := flag.Int64("stream-events", 110_000_000, "target event count for the -stream preset")
+	sharded := flag.Bool("sharded", false, "preset: record the sharded replay of one 500M+ event trace at 1/2/4/8 shards to results/bench/BENCH_sharded.json")
+	shardedEvents := flag.Int64("sharded-events", 500_000_000, "target event count for the -sharded preset")
+	workerTrace := flag.String("sharded-worker", "", "internal: replay this trace through the sharded engine and print one JSON result line")
+	workerShards := flag.Int("sharded-worker-shards", 1, "internal: shard count for -sharded-worker")
 	flag.Parse()
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
+	if *workerTrace != "" {
+		if err := runShardedWorker(*workerTrace, *workerShards); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrun: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *sharded {
+		if !set["label"] {
+			*label = "sharded"
+		}
+		if !set["out"] {
+			*out = "results/bench"
+		}
+		if err := runShardedPreset(*label, *out, *shardedEvents); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrun: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *stream {
 		if !set["label"] {
 			*label = "stream"
@@ -167,12 +204,13 @@ func main() {
 	}
 
 	report := Report{
-		Label:     *label,
-		Date:      time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		Count:     *count,
+		Label:      *label,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Count:      *count,
 	}
 	var pkgsDesc, benchDesc, timeDesc []string
 	for _, g := range groups {

@@ -57,60 +57,13 @@ func runStreamPreset(label, outDir string, targetEvents int64) error {
 		}
 	}
 
-	// Leg 1: pipelined chunked generation. Events-per-allocated-byte is
-	// not constant across scales — reads come from traversals of the
-	// fixed-size live set while creates scale with the allocation budget,
-	// so short runs are much read-denser than long ones. Calibrate
-	// iteratively: start small, fit events(alloc) as an affine function
-	// of the last two runs, and regenerate until the target is met. The
-	// final (successful) run is the measured leg.
 	genPath := filepath.Join(tmp, "stream.odbgcck")
-	var (
-		genDur         time.Duration
-		genRSS, events int64
-		s              *trace.ChunkStream
-		alloc          int64 = 20_000_000
-		prevAlloc      int64
-		prevEvents     int64
-	)
-	const maxAttempts = 6
-	for attempt := 1; ; attempt++ {
-		genDur, genRSS, err = timedExec(tracegenBin, "-o", genPath, "-format", "chunked",
-			"-live", fmt.Sprint(streamLiveBytes), "-alloc", fmt.Sprint(alloc),
-			"-max-events", fmt.Sprint(4*targetEvents))
-		if err != nil {
-			return fmt.Errorf("generation run: %w", err)
-		}
-		if s, err = trace.OpenChunkStream(genPath); err != nil {
-			return err
-		}
-		events = s.Len()
-		if events >= targetEvents {
-			break
-		}
-		if attempt == maxAttempts {
-			return fmt.Errorf("generated trace has %d events after %d calibration rounds, below the %d target",
-				events, maxAttempts, targetEvents)
-		}
-		// Solve a + b*alloc = 1.1*target from the last two (alloc,
-		// events) points; with only one point, assume proportionality.
-		next := int64(1.1 * float64(targetEvents) * float64(alloc) / float64(events))
-		if prevAlloc > 0 && events > prevEvents {
-			b := float64(events-prevEvents) / float64(alloc-prevAlloc)
-			a := float64(events) - b*float64(alloc)
-			next = int64((1.1*float64(targetEvents) - a) / b)
-		}
-		prevAlloc, prevEvents = alloc, events
-		if next < alloc*3/2 {
-			next = alloc * 3 / 2
-		}
-		alloc = next
-		fmt.Fprintf(os.Stderr, "benchrun: calibration round %d: %d events at -alloc %d; retrying at %d\n",
-			attempt, events, prevAlloc, alloc)
+	genDur, genRSS, s, err := calibratedTrace(tracegenBin, genPath, targetEvents, nil)
+	if err != nil {
+		return err
 	}
+	events := s.Len()
 	var benchmarks []Benchmark
-	fmt.Fprintf(os.Stderr, "benchrun: generated %d events, %d chunks, %.1f MB\n",
-		events, s.Chunks(), float64(s.SizeBytes())/(1<<20))
 	benchmarks = append(benchmarks, streamBench("StreamGenerate", events, genDur, genRSS, s))
 
 	// Leg 2: in-process streaming drain at two chunks of resident memory.
@@ -138,12 +91,19 @@ func runStreamPreset(label, outDir string, targetEvents int64) error {
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		ChunkBytes: trace.DefaultChunkBytes,
 		Packages:   "cmd/tracegen cmd/gcsim internal/trace",
 		BenchRegex: "stream preset",
 		Benchtime:  "1x",
 		Count:      1,
 		Benchmarks: benchmarks,
 	}
+	return writeReport(report, outDir)
+}
+
+// writeReport marshals a report to BENCH_<label>.json under outDir.
+func writeReport(report Report, outDir string) error {
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -151,12 +111,79 @@ func runStreamPreset(label, outDir string, targetEvents int64) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
-	path := filepath.Join(outDir, "BENCH_"+label+".json")
+	path := filepath.Join(outDir, "BENCH_"+report.Label+".json")
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(report.Benchmarks))
 	return nil
+}
+
+// calibratedTrace generates a chunked trace of at least target events at
+// path. Events-per-allocated-byte is not constant across scales — reads
+// come from traversals of the fixed-size live set while creates scale
+// with the allocation budget, so short runs are much read-denser than
+// long ones. Calibrate iteratively: start small, fit events(alloc) as an
+// affine function of the last two runs, and regenerate until the target
+// is met. The final (successful) run is the measured generation leg:
+// its wall time, the generator's peak RSS, and an open stream over the
+// trace are returned.
+func calibratedTrace(tracegenBin, path string, target int64, env []string, extra ...string) (time.Duration, int64, *trace.ChunkStream, error) {
+	// The first probe is cheap — 20 MB of allocation, floored at twice
+	// the live setpoint (the generator rejects an allocation budget below
+	// its live target) — and the affine fit takes over from there: the
+	// events-per-byte ratio drifts down with scale, so one big blind
+	// guess could overshoot by many minutes of generation. The event cap
+	// stays clear of the probe's output so it only guards runaways.
+	var (
+		genDur         time.Duration
+		genRSS, events int64
+		s              *trace.ChunkStream
+		err            error
+		alloc          int64 = min(20_000_000, max(2*streamLiveBytes, 3*target))
+		prevAlloc      int64
+		prevEvents     int64
+	)
+	const maxAttempts = 6
+	for attempt := 1; ; attempt++ {
+		args := []string{"-o", path, "-format", "chunked",
+			"-live", fmt.Sprint(streamLiveBytes), "-alloc", fmt.Sprint(alloc),
+			"-max-events", fmt.Sprint(max(4*target, 40_000_000))}
+		args = append(args, extra...)
+		genDur, genRSS, err = timedExecEnv(env, tracegenBin, args...)
+		if err != nil {
+			return 0, 0, nil, fmt.Errorf("generation run: %w", err)
+		}
+		if s, err = trace.OpenChunkStream(path); err != nil {
+			return 0, 0, nil, err
+		}
+		events = s.Len()
+		if events >= target {
+			break
+		}
+		if attempt == maxAttempts {
+			return 0, 0, nil, fmt.Errorf("generated trace has %d events after %d calibration rounds, below the %d target",
+				events, maxAttempts, target)
+		}
+		// Solve a + b*alloc = 1.1*target from the last two (alloc,
+		// events) points; with only one point, assume proportionality.
+		next := int64(1.1 * float64(target) * float64(alloc) / float64(events))
+		if prevAlloc > 0 && events > prevEvents {
+			b := float64(events-prevEvents) / float64(alloc-prevAlloc)
+			a := float64(events) - b*float64(alloc)
+			next = int64((1.1*float64(target) - a) / b)
+		}
+		prevAlloc, prevEvents = alloc, events
+		if next < alloc*3/2 {
+			next = alloc * 3 / 2
+		}
+		alloc = next
+		fmt.Fprintf(os.Stderr, "benchrun: calibration round %d: %d events at -alloc %d; retrying at %d\n",
+			attempt, events, prevAlloc, alloc)
+	}
+	fmt.Fprintf(os.Stderr, "benchrun: generated %d events, %d chunks, %.1f MB\n",
+		events, s.Chunks(), float64(s.SizeBytes())/(1<<20))
+	return genDur, genRSS, s, nil
 }
 
 // streamBench renders one leg as a Benchmark record: ns per event plus
@@ -189,7 +216,16 @@ func (c *countingSink) Emit(trace.Event) error {
 // timedExec runs a command to completion, returning its wall time and
 // peak resident set.
 func timedExec(bin string, args ...string) (time.Duration, int64, error) {
+	return timedExecEnv(nil, bin, args...)
+}
+
+// timedExecEnv is timedExec with extra environment entries appended to
+// the inherited environment.
+func timedExecEnv(env []string, bin string, args ...string) (time.Duration, int64, error) {
 	cmd := exec.Command(bin, args...)
+	if len(env) > 0 {
+		cmd.Env = append(os.Environ(), env...)
+	}
 	cmd.Stdout = os.Stderr // tool chatter goes to stderr; stdout is the report path line
 	cmd.Stderr = os.Stderr
 	fmt.Fprintf(os.Stderr, "benchrun: %s %s\n", filepath.Base(bin), strings.Join(args, " "))

@@ -4,8 +4,9 @@
 //
 //	gcsim [-policy NAME] [-seeds N] [-live BYTES] [-alloc BYTES]
 //	      [-partition-pages N] [-buffer-pages N] [-trigger N]
-//	      [-dense F] [-trees N] [-series FILE] [-audit]
+//	      [-dense F] [-cross F] [-trees N] [-series FILE] [-audit]
 //	      [-trace FILE] [-format auto|binary|jsonl|chunked]
+//	      [-shards N] [-shard-assign roundrobin|range] [-epoch-events N]
 //
 // With -seeds > 1 it reports mean ± stddev over seeded runs; with -series
 // it additionally writes the single-run time series as CSV. -audit runs
@@ -18,6 +19,12 @@
 // the file disagrees. Chunked traces replay through a prefetching
 // pipeline at two chunks of resident memory, so traces far larger than
 // RAM simulate fine.
+//
+// With -shards N the replay runs through the partition-sharded engine
+// (internal/shard): N goroutines, each owning a private heap, buffer,
+// remembered sets, and collector, exchanging cross-shard remembered-set
+// deltas at deterministic epoch barriers. Results are seed-stable
+// regardless of goroutine interleaving.
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 
 	"odbgc/internal/check"
 	"odbgc/internal/core"
+	"odbgc/internal/shard"
 	"odbgc/internal/sim"
 	"odbgc/internal/stats"
 	"odbgc/internal/trace"
@@ -57,6 +65,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		bufPages  = fs.Int("buffer-pages", 0, "buffer pages (0 = one partition)")
 		trigger   = fs.Int64("trigger", 0, "pointer overwrites per collection (0 = default 280)")
 		dense     = fs.Float64("dense", -1, "dense edge fraction (connectivity-1); negative = default")
+		cross     = fs.Float64("cross", 0, "fraction of dense edges that target another tree")
 		trees     = fs.Int("trees", 0, "mean nodes per tree (0 = default)")
 		series    = fs.String("series", "", "write single-run time series CSV to this file")
 		inspect   = fs.Bool("inspect", false, "print per-partition occupancy at end of a single run")
@@ -64,6 +73,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		audit     = fs.Bool("audit", false, "run the full invariant audit after every collection (slow)")
 		traceFile = fs.String("trace", "", "replay a tracegen trace file instead of generating the workload")
 		format    = fs.String("format", "auto", "trace file format: auto, binary, jsonl, or chunked")
+		shards    = fs.Int("shards", 0, "replay -trace through the sharded engine with this many shards (0 = unsharded)")
+		shAssign  = fs.String("shard-assign", "roundrobin", "tree-to-shard assignment for -shards: roundrobin or range")
+		epochEv   = fs.Int64("epoch-events", 0, "epoch length in events for -shards (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,6 +99,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("-alloc %d: byte count cannot be negative", *alloc)
 	case *trees < 0:
 		return fmt.Errorf("-trees %d: node count cannot be negative", *trees)
+	case *cross < 0 || *cross > 1:
+		return fmt.Errorf("-cross %g: fraction must be in [0,1]", *cross)
+	case *shards < 0:
+		return fmt.Errorf("-shards %d: shard count cannot be negative", *shards)
+	case *shards > shard.MaxShards:
+		return fmt.Errorf("-shards %d: exceeds the %d-shard cap (shard IDs pack into single bytes)", *shards, shard.MaxShards)
+	case *shards > 0 && *traceFile == "":
+		return fmt.Errorf("-shards requires -trace: the sharded engine demultiplexes a recorded trace, not a live generator")
+	case *shards == 0 && *shAssign != "roundrobin":
+		return fmt.Errorf("-shard-assign only applies with -shards")
+	case *shards == 0 && *epochEv != 0:
+		return fmt.Errorf("-epoch-events only applies with -shards")
+	case *epochEv < 0:
+		return fmt.Errorf("-epoch-events %d: epoch length cannot be negative", *epochEv)
 	}
 
 	if *traceFile != "" {
@@ -97,6 +123,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			"-live":  *live > 0,
 			"-alloc": *alloc > 0,
 			"-dense": *dense >= 0,
+			"-cross": *cross > 0,
 			"-trees": *trees > 0,
 			"-warm":  *warm,
 		} {
@@ -106,6 +133,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		if *policy == "all" {
 			return fmt.Errorf("-policy all is not supported with -trace; run one policy per replay")
+		}
+		if *shards > 0 {
+			// Sharded replay: each shard is a private simulator, so the
+			// single-heap inspection and audit paths do not apply.
+			switch {
+			case *audit:
+				return fmt.Errorf("-audit does not apply to sharded replay (the invariant catalog audits one global heap; check.SelfCheck covers the sharded engine)")
+			case *series != "":
+				return fmt.Errorf("-series does not apply to sharded replay (no single time series exists across shards)")
+			case *inspect:
+				return fmt.Errorf("-inspect does not apply to sharded replay")
+			}
+			assign, err := shard.ParseAssignment(*shAssign)
+			if err != nil {
+				return fmt.Errorf("-shard-assign: %w", err)
+			}
+			return replaySharded(stdout, *traceFile, *format, *policy, *partPages, *bufPages, *trigger, *shards, assign, *epochEv)
 		}
 		return replayTrace(stdout, *traceFile, *format, *policy, *partPages, *bufPages, *trigger, *series, *inspect, *audit)
 	}
@@ -120,6 +164,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *dense >= 0 {
 		wl.DenseEdgeFraction = *dense
 	}
+	wl.CrossTreeFraction = *cross
 	if *trees > 0 {
 		wl.MeanTreeNodes = *trees
 	}

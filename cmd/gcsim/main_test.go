@@ -241,3 +241,126 @@ func TestTraceFlagConflictsNamed(t *testing.T) {
 		t.Errorf("-format without -trace: err = %v, want named error", err)
 	}
 }
+
+// writeCrossTrace writes a small chunked trace whose dense edges cross
+// trees, so a sharded replay has real cross-shard traffic.
+func writeCrossTrace(t *testing.T) string {
+	t.Helper()
+	cfg := workload.DefaultConfig()
+	cfg.TargetLiveBytes = 60_000
+	cfg.TotalAllocBytes = 180_000
+	cfg.MeanTreeNodes = 40
+	cfg.CrossTreeFraction = 0.3
+	path := filepath.Join(t.TempDir(), "cross.odbgc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := workload.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw := trace.NewChunkWriter(f, cfg.Fingerprint(), 4096)
+	if _, err := g.Run(cw); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestShardFlagValidation pins every named rejection of the sharded
+// replay flags as a one-line error.
+func TestShardFlagValidation(t *testing.T) {
+	path := writeTestTrace(t, trace.FormatChunked)
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"negative shards", []string{"-shards", "-1"}, "-shards"},
+		{"over cap", []string{"-trace", path, "-shards", "65"}, "cap"},
+		{"without trace", []string{"-shards", "2"}, "-shards requires -trace"},
+		{"assign without shards", []string{"-trace", path, "-shard-assign", "range"}, "-shard-assign"},
+		{"epoch without shards", []string{"-trace", path, "-epoch-events", "100"}, "-epoch-events"},
+		{"negative epoch", []string{"-trace", path, "-shards", "2", "-epoch-events", "-1"}, "-epoch-events"},
+		{"bad assignment", []string{"-trace", path, "-shards", "2", "-shard-assign", "zebra"}, "zebra"},
+		{"audit conflict", []string{"-trace", path, "-shards", "2", "-audit"}, "-audit"},
+		{"series conflict", []string{"-trace", path, "-shards", "2", "-series", "x.csv"}, "-series"},
+		{"inspect conflict", []string{"-trace", path, "-shards", "2", "-inspect"}, "-inspect"},
+		{"cross in replay", []string{"-trace", path, "-cross", "0.5"}, "-cross"},
+		{"cross out of range", []string{"-cross", "1.5"}, "-cross"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			err := run(tc.args, &stdout, &stderr)
+			if err == nil {
+				t.Fatalf("run(%v) succeeded, want error naming %s", tc.args, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) error %q does not name %s", tc.args, err, tc.want)
+			}
+			if strings.Contains(err.Error(), "\n") {
+				t.Fatalf("run(%v) error %q spans multiple lines", tc.args, err)
+			}
+		})
+	}
+}
+
+// stripTimingLines drops the wall-clock-derived lines from a sharded
+// result table, leaving only the deterministic fields.
+func stripTimingLines(s string) string {
+	var keep []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, "scaling") {
+			continue
+		}
+		keep = append(keep, line)
+	}
+	return strings.Join(keep, "\n")
+}
+
+// TestShardedReplayDeterministic replays one cross-tree trace through
+// the sharded engine twice and demands identical output (modulo the
+// wall-clock scaling line): the epoch-barrier protocol makes the result
+// independent of goroutine interleaving.
+func TestShardedReplayDeterministic(t *testing.T) {
+	path := writeCrossTrace(t)
+	outs := make([]string, 2)
+	for i := range outs {
+		var stdout, stderr bytes.Buffer
+		args := []string{"-trace", path, "-shards", "4", "-epoch-events", "2048", "-partition-pages", "8", "-trigger", "40"}
+		if err := run(args, &stdout, &stderr); err != nil {
+			t.Fatalf("sharded replay: %v", err)
+		}
+		outs[i] = stripTimingLines(stdout.String())
+	}
+	if outs[0] != outs[1] {
+		t.Errorf("two sharded replays of the same trace diverge:\n%s\nvs\n%s", outs[0], outs[1])
+	}
+	for _, want := range []string{"Sharded run", "Per-shard results", "Foreign writes", "Remset deltas exchanged"} {
+		if !strings.Contains(outs[0], want) {
+			t.Errorf("sharded output missing %q:\n%s", want, outs[0])
+		}
+	}
+}
+
+// TestShardedReplayRangeAssignment exercises the range assignment and a
+// binary-format trace through the sharded path.
+func TestShardedReplayRangeAssignment(t *testing.T) {
+	path := writeTestTrace(t, trace.FormatBinary)
+	var stdout, stderr bytes.Buffer
+	args := []string{"-trace", path, "-shards", "2", "-shard-assign", "range", "-partition-pages", "8", "-trigger", "40"}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("sharded replay: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "(range)") {
+		t.Errorf("output does not echo the range assignment:\n%s", stdout.String())
+	}
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"odbgc/internal/shard"
+	"odbgc/internal/sim"
+	"odbgc/internal/stats"
+	"odbgc/internal/trace"
+	"odbgc/internal/workload"
+)
+
+// replaySharded replays a trace file through the partition-sharded
+// engine: the stream is demultiplexed onto shards goroutines, each
+// running a private simulator, with cross-shard references exchanged at
+// epoch barriers. Chunked traces stream through the prefetch pipeline;
+// binary and JSONL traces are decoded on the fly.
+func replaySharded(stdout io.Writer, path, expectFormat, policy string, partPages, bufPages int, trigger int64, shards int, assign shard.Assignment, epochEvents int64) error {
+	detected, err := sniffFile(path, expectFormat)
+	if err != nil {
+		return err
+	}
+	cfg := sim.DefaultConfig(policy)
+	if partPages > 0 {
+		cfg.Heap.PartitionPages = partPages
+	}
+	if bufPages > 0 {
+		cfg.BufferPages = bufPages
+	}
+	if trigger > 0 {
+		cfg.TriggerOverwrites = trigger
+	}
+
+	eng, err := shard.New(shard.Config{
+		Shards:      shards,
+		Assignment:  assign,
+		EpochEvents: epochEvents,
+		Parallel:    true,
+		Sim:         cfg,
+	})
+	if err != nil {
+		return err
+	}
+
+	var replay func(trace.Sink) error
+	switch detected {
+	case trace.FormatChunked:
+		rt, err := workload.OpenStreamed(path)
+		if err != nil {
+			return err
+		}
+		replay = func(s trace.Sink) error { return rt.Replay(s, nil) }
+	case trace.FormatBinary:
+		replay = func(s trace.Sink) error {
+			f, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			_, err = trace.CopyFrom(s, trace.NewReader(bufio.NewReaderSize(f, 1<<20)))
+			return err
+		}
+	default:
+		replay = func(s trace.Sink) error {
+			f, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			_, err = trace.CopyFrom(s, trace.NewJSONLReader(bufio.NewReaderSize(f, 1<<20)))
+			return err
+		}
+	}
+
+	res, err := eng.Run(replay)
+	if err != nil {
+		return err
+	}
+	printShardedResult(stdout, res)
+	return nil
+}
+
+// sniffFile detects a trace file's format from its magic bytes and, when
+// the -format flag asserts an expectation, errors if the file disagrees.
+func sniffFile(path, expectFormat string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	detected, err := trace.SniffFormat(f)
+	if err != nil {
+		return "", fmt.Errorf("%s: %w", path, err)
+	}
+	if expectFormat != "auto" && expectFormat != detected {
+		return "", fmt.Errorf("-format %s: %s is a %s trace (detected from its magic bytes); use -format %s or -format auto",
+			expectFormat, path, detected, detected)
+	}
+	return detected, nil
+}
+
+// printShardedResult renders the aggregate and per-shard tables of a
+// sharded run.
+func printShardedResult(stdout io.Writer, res shard.Result) {
+	t := stats.NewTable(fmt.Sprintf("Sharded run: %s, %d shards (%s)", res.PerShard[0].Result.Policy, res.Shards, res.Assignment),
+		"Metric", "Value")
+	t.AddRow("Application events", fmt.Sprint(res.Events))
+	t.AddRow("Epochs", fmt.Sprintf("%d x %d events", res.Epochs, res.EpochEvents))
+	t.AddRow("Trees routed", fmt.Sprint(res.Trees))
+	t.AddRow("Application I/Os", fmt.Sprint(res.AppIOs))
+	t.AddRow("Collector I/Os", fmt.Sprint(res.GCIOs))
+	t.AddRow("Total I/Os", fmt.Sprint(res.TotalIOs))
+	t.AddRow("Collections", fmt.Sprint(res.Collections))
+	t.AddRow("Reclaimed (KB)", fmt.Sprint(res.ReclaimedBytes/1024))
+	t.AddRow("Foreign writes", fmt.Sprint(res.ForeignWrites))
+	t.AddRow("Remset deltas exchanged", fmt.Sprint(res.DeltasExchanged))
+	t.AddRow("Exchange messages", fmt.Sprint(res.MessagesSent))
+	t.AddRow("Event imbalance", fmt.Sprintf("%.3f", res.Imbalance))
+	if res.BusyNsMax > 0 {
+		t.AddRow("Shard-local scaling", fmt.Sprintf("%.2fx (busy %.2fs total / %.2fs critical path)",
+			float64(res.BusyNsTotal)/float64(res.BusyNsMax),
+			float64(res.BusyNsTotal)/1e9, float64(res.BusyNsMax)/1e9))
+	}
+	fmt.Fprintln(stdout, t)
+
+	pt := stats.NewTable("Per-shard results",
+		"Shard", "Events", "Total I/Os", "Collections", "Reclaimed KB", "Foreign out", "Ext refs")
+	for _, sr := range res.PerShard {
+		pt.AddRow(fmt.Sprint(sr.Shard),
+			fmt.Sprint(sr.Events),
+			fmt.Sprint(sr.Result.TotalIOs),
+			fmt.Sprint(sr.Result.Collections),
+			fmt.Sprint(sr.Result.ReclaimedBytes/1024),
+			fmt.Sprint(sr.ForeignWrites),
+			fmt.Sprint(sr.ExternalRefs))
+	}
+	fmt.Fprintln(stdout, pt)
+}

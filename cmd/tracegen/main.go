@@ -5,7 +5,8 @@
 // Usage:
 //
 //	tracegen -o trace.bin [-format binary|jsonl|chunked] [-chunk-bytes N]
-//	         [-seed N] [-live BYTES] [-alloc BYTES] [-dense F] [-trees N]
+//	         [-seed N] [-live BYTES] [-alloc BYTES] [-dense F] [-cross F]
+//	         [-trees N]
 //
 // The chunked format streams fixed-size CRC-guarded chunks to disk as
 // they fill, so the encoded trace never resides in memory (the
@@ -45,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		live       = fs.Int64("live", 0, "live-data setpoint in bytes (0 = default)")
 		alloc      = fs.Int64("alloc", 0, "total allocation target in bytes (0 = default)")
 		dense      = fs.Float64("dense", -1, "dense edge fraction; negative = default")
+		cross      = fs.Float64("cross", 0, "fraction of dense edges that target another tree (cross-shard traffic for sharded replay)")
 		trees      = fs.Int("trees", 0, "mean nodes per tree (0 = default)")
 		maxEvents  = fs.Int64("max-events", 0, "safety cap on emitted events (0 = default 80M); raise for 100M+ event traces")
 	)
@@ -64,6 +66,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("-live %d: byte count cannot be negative", *live)
 	case *alloc < 0:
 		return fmt.Errorf("-alloc %d: byte count cannot be negative", *alloc)
+	case *cross < 0 || *cross > 1:
+		return fmt.Errorf("-cross %g: fraction must be in [0,1]", *cross)
 	case *trees < 0:
 		return fmt.Errorf("-trees %d: node count cannot be negative", *trees)
 	case *maxEvents < 0:
@@ -81,6 +85,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *dense >= 0 {
 		cfg.DenseEdgeFraction = *dense
 	}
+	cfg.CrossTreeFraction = *cross
 	if *trees > 0 {
 		cfg.MeanTreeNodes = *trees
 	}
@@ -143,5 +148,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "%s: %d events (%d creates, %d reads, %d writes, %d modifies), %d deletions, %.1f MB allocated, r/w ratio %.1f\n",
 		*out, st.Events, st.Creates, st.Reads, st.Writes, st.Modifies,
 		st.Deletions, float64(st.AllocatedBytes)/(1<<20), st.EdgeReadWriteRatio)
+	if *cross > 0 {
+		fmt.Fprintf(stdout, "%s: %d of %d dense edges cross trees\n", *out, st.CrossTreeEdges, st.DenseEdges)
+	}
 	return nil
 }

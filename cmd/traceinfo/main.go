@@ -2,13 +2,17 @@
 // JSON Lines, or chunked, detected automatically: event counts by kind,
 // allocation volume, object-size distribution, and the edge read/write
 // ratio. Chunked traces additionally get a per-chunk summary table
-// (events, payload bytes, kind histogram, CRC status), and -chunk N
-// drills into a single chunk without reading the rest of the file.
-// Optionally it replays the trace through one simulation.
+// (events, payload bytes, kind histogram, CRC status); -chunk N drills
+// into a single chunk without reading the rest of the file, and -chunk
+// LO-HI drills into a contiguous range. -shards N previews how the
+// sharded engine would split the trace: a per-chunk histogram of events
+// by shard under the chosen -shard-assign policy. Optionally it replays
+// the trace through one simulation.
 //
 // Usage:
 //
-//	traceinfo [-replay POLICY] [-chunk N] trace.bin
+//	traceinfo [-replay POLICY] [-chunk N|LO-HI] [-shards N]
+//	          [-shard-assign roundrobin|range] trace.bin
 package main
 
 import (
@@ -18,8 +22,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"odbgc/internal/heap"
+	"odbgc/internal/shard"
 	"odbgc/internal/sim"
 	"odbgc/internal/stats"
 	"odbgc/internal/trace"
@@ -38,14 +45,40 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("traceinfo", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	replay := fs.String("replay", "", "also replay the trace under this selection policy")
-	chunkN := fs.Int("chunk", -1, "show one chunk of a chunked trace (skips the others)")
+	chunkSpec := fs.String("chunk", "", "show chunk N, or chunks LO-HI, of a chunked trace (skips the others)")
+	shards := fs.Int("shards", 0, "print a per-chunk histogram of events by shard for N shards")
+	shAssign := fs.String("shard-assign", "", "tree-to-shard assignment for -shards: roundrobin or range")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return errors.New("usage: traceinfo [-replay POLICY] [-chunk N] trace.bin")
+		return errors.New("usage: traceinfo [-replay POLICY] [-chunk N|LO-HI] [-shards N] trace.bin")
 	}
 	path := fs.Arg(0)
+
+	chunkLo, chunkHi := -1, -1
+	if *chunkSpec != "" {
+		var err error
+		chunkLo, chunkHi, err = parseChunkRange(*chunkSpec)
+		if err != nil {
+			return err
+		}
+	}
+	assign := shard.RoundRobin
+	switch {
+	case *shards < 0:
+		return fmt.Errorf("-shards %d: shard count cannot be negative", *shards)
+	case *shards > shard.MaxShards:
+		return fmt.Errorf("-shards %d exceeds the %d-shard cap (shard IDs pack into single bytes)", *shards, shard.MaxShards)
+	case *shAssign != "" && *shards == 0:
+		return errors.New("-shard-assign only applies with -shards")
+	case *shAssign != "":
+		var err error
+		assign, err = shard.ParseAssignment(*shAssign)
+		if err != nil {
+			return err
+		}
+	}
 
 	f, err := os.Open(path)
 	if err != nil {
@@ -56,11 +89,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
-	if *chunkN >= 0 {
+	if *shards > 0 {
 		if format != trace.FormatChunked {
-			return fmt.Errorf("-chunk %d only applies to chunked traces; %s is a %s trace", *chunkN, path, format)
+			return fmt.Errorf("-shards %d only applies to chunked traces; %s is a %s trace", *shards, path, format)
 		}
-		return showChunk(stdout, f, path, *chunkN)
+		return showShardHistogram(stdout, f, path, *shards, assign, chunkLo, chunkHi)
+	}
+	if chunkLo >= 0 {
+		if format != trace.FormatChunked {
+			return fmt.Errorf("-chunk %s only applies to chunked traces; %s is a %s trace", *chunkSpec, path, format)
+		}
+		return showChunks(stdout, f, path, chunkLo, chunkHi)
 	}
 
 	var (
@@ -195,40 +234,155 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
-// showChunk seeks to chunk n of a chunked trace — skipping earlier
-// chunks without CRC-verifying or decoding them — and prints its detail.
-func showChunk(stdout io.Writer, f *os.File, path string, n int) error {
+// parseChunkRange parses a -chunk argument: a single chunk index "N" or
+// an inclusive range "LO-HI".
+func parseChunkRange(spec string) (lo, hi int, err error) {
+	s, rest, isRange := strings.Cut(spec, "-")
+	lo, err = strconv.Atoi(s)
+	if err != nil || lo < 0 {
+		return 0, 0, fmt.Errorf("-chunk %q: want a chunk index N or an inclusive range LO-HI", spec)
+	}
+	if !isRange {
+		return lo, lo, nil
+	}
+	hi, err = strconv.Atoi(rest)
+	if err != nil || hi < lo {
+		return 0, 0, fmt.Errorf("-chunk %q: want LO-HI with 0 <= LO <= HI", spec)
+	}
+	return lo, hi, nil
+}
+
+// showChunks seeks to chunk lo of a chunked trace — skipping earlier
+// chunks without CRC-verifying or decoding them — and prints the detail
+// of every chunk through hi.
+func showChunks(stdout io.Writer, f *os.File, path string, lo, hi int) error {
 	cr := trace.NewChunkReader(bufio.NewReaderSize(f, 1<<20))
-	for i := 0; i < n; i++ {
+	for i := 0; i < lo; i++ {
 		if err := cr.SkipChunk(); err != nil {
 			if errors.Is(err, io.EOF) {
-				return fmt.Errorf("-chunk %d: %s has only %d chunks", n, path, i)
+				return fmt.Errorf("-chunk %d: %s has only %d chunks", lo, path, i)
 			}
 			return err
 		}
 	}
-	var c trace.Chunk
-	if err := cr.Next(&c); err != nil {
-		if errors.Is(err, io.EOF) {
-			return fmt.Errorf("-chunk %d: %s has only %d chunks", n, path, n)
+	for n := lo; n <= hi; n++ {
+		var c trace.Chunk
+		if err := cr.Next(&c); err != nil {
+			if errors.Is(err, io.EOF) {
+				if n == lo {
+					return fmt.Errorf("-chunk %d: %s has only %d chunks", lo, path, n)
+				}
+				// A range may run past the last chunk; the chunks that
+				// exist were already printed.
+				return nil
+			}
+			return err
 		}
+		var sink kindCountSink
+		if err := c.Replay(&sink); err != nil {
+			return err
+		}
+		t := stats.NewTable(fmt.Sprintf("Chunk %d of %s", n, path), "Metric", "Value")
+		t.AddRow("Events", fmt.Sprint(c.Len()))
+		t.AddRow("Payload bytes", fmt.Sprint(c.PayloadBytes()))
+		t.AddRow("Fingerprint", fmt.Sprintf("%#016x", c.Fingerprint))
+		t.AddRow("CRC", "ok")
+		t.AddRow("Creates", fmt.Sprint(sink.kinds[trace.KindCreate]))
+		t.AddRow("Roots", fmt.Sprint(sink.kinds[trace.KindRoot]))
+		t.AddRow("Reads", fmt.Sprint(sink.kinds[trace.KindRead]))
+		t.AddRow("Writes", fmt.Sprint(sink.kinds[trace.KindWrite]))
+		t.AddRow("Modifies", fmt.Sprint(sink.kinds[trace.KindModify]))
+		fmt.Fprintln(stdout, t)
+	}
+	return nil
+}
+
+// showShardHistogram routes every event of a chunked trace through a
+// shard router and prints, for each chunk in the selected range (all
+// chunks when no -chunk was given), how many of its events land on each
+// shard. The whole file is scanned from chunk 0 regardless of the range:
+// routing is stateful — a chunk's events route by where earlier chunks
+// created their trees.
+func showShardHistogram(stdout io.Writer, f *os.File, path string, shards int, assign shard.Assignment, lo, hi int) error {
+	r, err := shard.NewRouter(shards, assign, 0)
+	if err != nil {
 		return err
 	}
-	var sink kindCountSink
-	if err := c.Replay(&sink); err != nil {
-		return err
+	cr := trace.NewChunkReader(bufio.NewReaderSize(f, 1<<20))
+	type histRow struct {
+		index   int
+		events  int
+		byShard []int64
 	}
-	t := stats.NewTable(fmt.Sprintf("Chunk %d of %s", n, path), "Metric", "Value")
-	t.AddRow("Events", fmt.Sprint(c.Len()))
-	t.AddRow("Payload bytes", fmt.Sprint(c.PayloadBytes()))
-	t.AddRow("Fingerprint", fmt.Sprintf("%#016x", c.Fingerprint))
-	t.AddRow("CRC", "ok")
-	t.AddRow("Creates", fmt.Sprint(sink.kinds[trace.KindCreate]))
-	t.AddRow("Roots", fmt.Sprint(sink.kinds[trace.KindRoot]))
-	t.AddRow("Reads", fmt.Sprint(sink.kinds[trace.KindRead]))
-	t.AddRow("Writes", fmt.Sprint(sink.kinds[trace.KindWrite]))
-	t.AddRow("Modifies", fmt.Sprint(sink.kinds[trace.KindModify]))
+	var rows []histRow
+	totals := make([]int64, shards)
+	var c trace.Chunk
+	chunks := 0
+	for ; ; chunks++ {
+		if err := cr.Next(&c); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return err
+		}
+		byShard := make([]int64, shards)
+		var routeErr error
+		if err := c.Replay(collectFunc(func(e trace.Event) {
+			s, err := r.Route(e)
+			if err != nil {
+				if routeErr == nil {
+					routeErr = err
+				}
+				return
+			}
+			byShard[s]++
+		})); err != nil {
+			return err
+		}
+		if routeErr != nil {
+			return fmt.Errorf("chunk %d: %w", chunks, routeErr)
+		}
+		for s, n := range byShard {
+			totals[s] += n
+		}
+		if lo < 0 || (chunks >= lo && chunks <= hi) {
+			rows = append(rows, histRow{index: chunks, events: c.Len(), byShard: byShard})
+		}
+	}
+	if lo >= chunks {
+		return fmt.Errorf("-chunk %d: %s has only %d chunks", lo, path, chunks)
+	}
+
+	cols := []string{"Chunk", "Events"}
+	for s := 0; s < shards; s++ {
+		cols = append(cols, fmt.Sprintf("S%d", s))
+	}
+	t := stats.NewTable(fmt.Sprintf("Shard assignment: %d shards (%s), %d chunks, %d trees",
+		shards, assign, chunks, r.Trees()), cols...)
+	for _, row := range rows {
+		cells := []string{fmt.Sprint(row.index), fmt.Sprint(row.events)}
+		for _, n := range row.byShard {
+			cells = append(cells, fmt.Sprint(n))
+		}
+		t.AddRow(cells...)
+	}
+	var total, max int64
+	for _, n := range totals {
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	cells := []string{"total", fmt.Sprint(total)}
+	for _, n := range totals {
+		cells = append(cells, fmt.Sprint(n))
+	}
+	t.AddRow(cells...)
 	fmt.Fprintln(stdout, t)
+	if total > 0 {
+		fmt.Fprintf(stdout, "event imbalance %.3f (max shard / mean)\n",
+			float64(max)*float64(shards)/float64(total))
+	}
 	return nil
 }
 

@@ -200,3 +200,96 @@ func tableBody(s string) string {
 	}
 	return s
 }
+
+// TestChunkRangeDrillDown checks -chunk LO-HI prints a detail table per
+// chunk in the range and stays consistent with the single-chunk form.
+func TestChunkRangeDrillDown(t *testing.T) {
+	path := writeTinyChunkedTrace(t)
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-chunk", "0-2", path}, &stdout, &stderr); err != nil {
+		t.Fatalf("-chunk 0-2: %v", err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"Chunk 0 of", "Chunk 1 of", "Chunk 2 of"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-chunk 0-2 output missing %q:\n%s", want, out)
+		}
+	}
+
+	// The range form prints the same table for chunk 1 as the single form.
+	var single bytes.Buffer
+	if err := run([]string{"-chunk", "1", path}, &single, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, single.String()) {
+		t.Errorf("-chunk 1 table not reproduced inside the -chunk 0-2 output:\n%s", single.String())
+	}
+
+	// A range running past the last chunk prints what exists.
+	stdout.Reset()
+	if err := run([]string{"-chunk", "1-100000", path}, &stdout, &stderr); err != nil {
+		t.Fatalf("-chunk 1-100000: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "Chunk 1 of") {
+		t.Errorf("open-ended range printed nothing:\n%s", stdout.String())
+	}
+
+	// Malformed specs are named.
+	for _, spec := range []string{"x", "3-1", "-2", "1-x"} {
+		if err := run([]string{"-chunk", spec, path}, &stdout, &stderr); err == nil || !strings.Contains(err.Error(), "-chunk") {
+			t.Errorf("-chunk %s: err = %v, want named parse error", spec, err)
+		}
+	}
+}
+
+// TestShardHistogram checks -shards prints a per-chunk histogram whose
+// shard columns sum to the chunk's events, plus the named error paths.
+func TestShardHistogram(t *testing.T) {
+	path := writeTinyChunkedTrace(t)
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-shards", "4", path}, &stdout, &stderr); err != nil {
+		t.Fatalf("-shards 4: %v", err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"Shard assignment: 4 shards (roundrobin)", "S0", "S3", "total", "event imbalance"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-shards output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Restricting to a chunk range keeps the totals row covering the
+	// whole trace (routing scans from chunk 0 regardless).
+	stdout.Reset()
+	if err := run([]string{"-shards", "2", "-shard-assign", "range", "-chunk", "1-2", path}, &stdout, &stderr); err != nil {
+		t.Fatalf("-shards with -chunk range: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "(range)") {
+		t.Errorf("-shard-assign range not echoed:\n%s", stdout.String())
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"negative shards", []string{"-shards", "-1", path}, "-shards"},
+		{"over cap", []string{"-shards", "65", path}, "cap"},
+		{"assign without shards", []string{"-shard-assign", "range", path}, "-shard-assign"},
+		{"bad assignment", []string{"-shards", "2", "-shard-assign", "zebra", path}, "zebra"},
+		{"range past end", []string{"-shards", "2", "-chunk", "100000", path}, "only"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			err := run(tc.args, &stdout, &stderr)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("run(%v) err = %v, want error naming %s", tc.args, err, tc.want)
+			}
+		})
+	}
+
+	flat := writeTinyTrace(t)
+	if err := run([]string{"-shards", "2", flat}, &stdout, &stderr); err == nil || !strings.Contains(err.Error(), "chunked") {
+		t.Errorf("-shards on binary trace: err = %v, want chunked-only error", err)
+	}
+}

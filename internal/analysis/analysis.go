@@ -132,6 +132,7 @@ var resultPackages = map[string]bool{
 	"trace":       true,
 	"stats":       true,
 	"check":       true,
+	"shard":       true,
 }
 
 // isResultPackage reports whether the pass's package is one whose

@@ -4,11 +4,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"runtime"
 
 	"odbgc/internal/core"
 	"odbgc/internal/heap"
+	"odbgc/internal/shard"
 	"odbgc/internal/sim"
+	"odbgc/internal/trace"
 	"odbgc/internal/workload"
 )
 
@@ -36,7 +39,11 @@ type Options struct {
 //   - recorded-trace replay vs a live generator run;
 //   - eager write barrier vs the buffered (SSB) barrier;
 //   - serial loop vs the parallel scheduler with a shared trace cache;
-//   - trigger parity across all policies (TriggerParity).
+//   - trigger parity across all policies (TriggerParity);
+//   - the sharded engine's goroutine-per-shard mode vs its serial mode
+//     (bit-identical per-shard results, per-partition garbage, and
+//     exchange counters), and its single-shard mode vs the plain
+//     simulator.
 //
 // The first divergence or invariant violation is reported with the
 // specific field or structure that came apart. A nil return means every
@@ -204,7 +211,108 @@ func SelfCheck(opts Options) error {
 			}
 		}
 	}
+	// Phase 4: the sharded engine. A cross-tree workload gives the shards
+	// real remembered-set traffic to exchange; every policy must come out
+	// bit-identical between the goroutine-per-shard and serial modes, and
+	// the single-shard engine must reproduce the plain simulator.
+	logf("selfcheck: phase 4: sharded engine, %d policies x %d seeds", len(core.Names()), seeds)
+	wlShard := wlBase
+	wlShard.CrossTreeFraction = 0.25
+	for i := 0; i < seeds; i++ {
+		wl := wlShard
+		wl.Seed += int64(i)
+		rt, err := cache.Get(wl)
+		if err != nil {
+			return fmt.Errorf("selfcheck: recording cross-tree workload seed %d: %w", wl.Seed, err)
+		}
+		if rt.Stats.CrossTreeEdges == 0 {
+			return fmt.Errorf("selfcheck: cross-tree workload seed %d produced no cross-tree edges", wl.Seed)
+		}
+		replay := func(s trace.Sink) error { return rt.Replay(s, nil) }
+		for _, policy := range core.Names() {
+			cfg := simBase
+			cfg.Policy = policy
+			cfg.Seed = simBase.Seed + 1000 + int64(i)
+			scfg := shard.Config{Shards: 4, EpochEvents: 1 << 12, Sim: cfg}
+			serial, err := runShardedOnce(scfg, replay)
+			if err != nil {
+				return fmt.Errorf("selfcheck: serial sharded run (policy %s, seed %d): %w", policy, wl.Seed, err)
+			}
+			scfg.Parallel = true
+			parallel, err := runShardedOnce(scfg, replay)
+			if err != nil {
+				return fmt.Errorf("selfcheck: parallel sharded run (policy %s, seed %d): %w", policy, wl.Seed, err)
+			}
+			if err := DiffShardRuns("serial sharded engine", "parallel sharded engine", serial, parallel); err != nil {
+				return fmt.Errorf("selfcheck: policy %s, seed %d: %w", policy, wl.Seed, err)
+			}
+			if serial.ForeignWrites == 0 || serial.MessagesSent == 0 {
+				return fmt.Errorf("selfcheck: policy %s, seed %d: sharded run exchanged no cross-shard traffic (foreign writes %d, messages %d)",
+					policy, wl.Seed, serial.ForeignWrites, serial.MessagesSent)
+			}
+		}
+
+		// Single shard vs the plain simulator: the demux must be a pure
+		// pass-through.
+		cfg := simBase
+		cfg.Policy = core.NameMutatedPartition
+		cfg.Seed = simBase.Seed + 1000 + int64(i)
+		single, err := runShardedOnce(shard.Config{Shards: 1, EpochEvents: 1 << 12, Sim: cfg}, replay)
+		if err != nil {
+			return fmt.Errorf("selfcheck: single-shard run (seed %d): %w", wl.Seed, err)
+		}
+		plain, err := sim.RunRecorded(cfg, rt)
+		if err != nil {
+			return fmt.Errorf("selfcheck: plain run for single-shard leg (seed %d): %w", wl.Seed, err)
+		}
+		if err := DiffResults("single-shard engine", "plain simulator", single.PerShard[0].Result, plain); err != nil {
+			return fmt.Errorf("selfcheck: seed %d: %w", wl.Seed, err)
+		}
+		if single.ForeignWrites != 0 || single.DeltasExchanged != 0 {
+			return fmt.Errorf("selfcheck: seed %d: single-shard run reports cross-shard traffic (%d foreign writes, %d deltas)",
+				wl.Seed, single.ForeignWrites, single.DeltasExchanged)
+		}
+	}
+
 	logf("selfcheck: all paths agree, all audits passed")
+	return nil
+}
+
+// runShardedOnce builds a fresh engine for cfg and replays one trace
+// through it (engines are single-use).
+func runShardedOnce(cfg shard.Config, replay func(trace.Sink) error) (shard.Result, error) {
+	eng, err := shard.New(cfg)
+	if err != nil {
+		return shard.Result{}, err
+	}
+	return eng.Run(replay)
+}
+
+// DiffShardRuns compares two sharded runs of the same configuration,
+// ignoring only the wall-clock counters and the Parallel echo (the
+// fields that legitimately differ between engine modes). Everything else
+// — per-shard simulator results, per-partition garbage, exchange
+// counters, and the aggregates — must be bit-identical.
+func DiffShardRuns(labelA, labelB string, a, b shard.Result) error {
+	if len(a.PerShard) != len(b.PerShard) {
+		return fmt.Errorf("%s ran %d shards, %s ran %d", labelA, len(a.PerShard), labelB, len(b.PerShard))
+	}
+	for i := range a.PerShard {
+		sa, sb := a.PerShard[i], b.PerShard[i]
+		if err := DiffResults(labelA, labelB, sa.Result, sb.Result); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		sa.BusyNs, sa.ExchangeNs, sa.Result = 0, 0, sim.Result{}
+		sb.BusyNs, sb.ExchangeNs, sb.Result = 0, 0, sim.Result{}
+		if !reflect.DeepEqual(sa, sb) {
+			return fmt.Errorf("shard %d counters diverge between %s and %s:\n  %+v\n  %+v", i, labelA, labelB, sa, sb)
+		}
+	}
+	a.Parallel, a.BusyNsTotal, a.BusyNsMax, a.PerShard = false, 0, 0, nil
+	b.Parallel, b.BusyNsTotal, b.BusyNsMax, b.PerShard = false, 0, 0, nil
+	if !reflect.DeepEqual(a, b) {
+		return fmt.Errorf("aggregates diverge between %s and %s:\n  %+v\n  %+v", labelA, labelB, a, b)
+	}
 	return nil
 }
 

@@ -54,6 +54,11 @@ type Collector struct {
 	paranoid  bool
 	traversal Traversal
 
+	// externalRoots and onDiscard are the sharded engine's hooks; see
+	// SetExternalRoots and SetOnDiscard.
+	externalRoots func(victim heap.PartitionID, add func(heap.OID))
+	onDiscard     func(oid heap.OID)
+
 	// Per-evacuation scratch, reused across collections. seen is an
 	// epoch-stamped visited mark per OID: seen[oid] == seenEpoch means
 	// the object was enqueued (or found dead) this evacuation.
@@ -114,6 +119,24 @@ func (c *Collector) SetParanoid(on bool) { c.paranoid = on }
 
 // SetTraversal selects the copy traversal order (default BreadthFirst).
 func (c *Collector) SetTraversal(t Traversal) { c.traversal = t }
+
+// SetExternalRoots registers an additional root source consulted by every
+// evacuation: fn receives the victim partition and must pass each
+// externally referenced OID to add, in a deterministic order. OIDs that
+// are not resident in the victim (including ones already discarded) are
+// ignored, exactly as remembered-set targets are. The sharded engine
+// (internal/shard) uses this to keep objects referenced from other
+// shards alive — the cross-shard analogue of a remembered set keeping a
+// cross-partition referent alive.
+func (c *Collector) SetExternalRoots(fn func(victim heap.PartitionID, add func(heap.OID))) {
+	c.externalRoots = fn
+}
+
+// SetOnDiscard registers fn to run for each object an evacuation is
+// about to discard, in ascending OID order, while the object's fields
+// are still readable. The sharded engine uses this to retract the
+// remset deltas a dying object's cross-shard pointers once sent.
+func (c *Collector) SetOnDiscard(fn func(oid heap.OID)) { c.onDiscard = fn }
 
 // Stats returns a snapshot of collector counters.
 func (c *Collector) Stats() CollectorStats { return c.stats }
@@ -192,6 +215,16 @@ func (c *Collector) evacuate(victim heap.PartitionID) CollectionResult {
 			}
 		}
 	})
+	if c.externalRoots != nil {
+		c.externalRoots(victim, func(target heap.OID) {
+			if target < heap.OID(len(c.seen)) && c.seen[target] != c.seenEpoch {
+				if obj := c.h.Get(target); obj != nil && obj.Partition == victim {
+					c.seen[target] = c.seenEpoch
+					roots = append(roots, target)
+				}
+			}
+		})
+	}
 	c.roots = roots
 
 	// Iterate over the roots one at a time (as the paper does), copying
@@ -250,6 +283,9 @@ func (c *Collector) evacuate(victim heap.PartitionID) CollectionResult {
 	for _, oid := range dead {
 		res.ReclaimedBytes += c.h.Get(oid).Size
 		res.ReclaimedObjects++
+		if c.onDiscard != nil {
+			c.onDiscard(oid)
+		}
 		c.rem.PurgeDeadEvacuating(oid, dest)
 		c.h.Discard(oid)
 	}

@@ -158,6 +158,17 @@ func (m *Mutator) Modify(oid heap.OID) error {
 	return nil
 }
 
+// NoteForeignOverwrite counts a pointer overwrite detected outside the
+// heap's own field store: the sharded engine (internal/shard) stores
+// cross-shard references as nil locally and tracks the real targets in a
+// sidecar, so overwriting one is invisible to the write barrier above.
+// The note feeds the same per-collection and lifetime counters a local
+// overwrite does, keeping the collection trigger's cadence faithful.
+func (m *Mutator) NoteForeignOverwrite() {
+	m.overwrites++
+	m.totalOverwrites++
+}
+
 // OverwritesSinceCollection reports pointer overwrites since the last
 // ResetOverwrites call; the trigger polls it.
 func (m *Mutator) OverwritesSinceCollection() int64 { return m.overwrites }

@@ -330,6 +330,20 @@ func (t *Table) RootsInto(p heap.PartitionID, fn func(e Entry, target heap.OID))
 	}
 }
 
+// Entries calls fn for every remembered pointer in the table, ordered by
+// target partition, then source OID, then field — a deterministic full
+// enumeration for differential tests (the sharded engine's union-of-
+// remsets property check compares per-shard tables against a global one
+// with it).
+func (t *Table) Entries(fn func(p heap.PartitionID, e Entry, target heap.OID)) {
+	for pid := range t.in {
+		p := heap.PartitionID(pid)
+		t.RootsInto(p, func(e Entry, target heap.OID) {
+			fn(p, e, target)
+		})
+	}
+}
+
 // InCount reports the number of remembered pointers into partition p.
 func (t *Table) InCount(p heap.PartitionID) int {
 	if int(p) >= len(t.in) {

@@ -1,0 +1,653 @@
+package shard
+
+import (
+	"fmt"
+	"slices"
+	"time"
+
+	"odbgc/internal/heap"
+	"odbgc/internal/sim"
+	"odbgc/internal/trace"
+)
+
+// packLoc packs a local source OID and field index into one map key,
+// mirroring the remembered sets' packed pointer locations.
+func packLoc(src uint32, field int) uint64 { return uint64(src)<<16 | uint64(field) }
+
+// foreignRef is the true value of a local pointer location whose target
+// lives on another shard (the location itself holds nil locally).
+type foreignRef struct {
+	shard  uint8
+	target uint32
+}
+
+// delta is one remembered-set exchange operation: add (or remove) one
+// external reference to a local object of the receiving shard.
+type delta struct {
+	target uint32
+	remove bool
+}
+
+// deltaMsg carries one sender's deltas for one epoch. Exactly one is
+// sent per (sender, receiver, epoch) — empty ones included, because
+// receiving N-1 of them is the epoch barrier.
+type deltaMsg struct {
+	epoch  int64
+	from   int
+	deltas []delta
+}
+
+// shardRunner is one shard's live state: a private simulator plus the
+// cross-shard reference bookkeeping on both sides (pointers held out of
+// this shard, references held into it).
+type shardRunner struct {
+	id  int
+	eng *Engine
+	sim *sim.Sim
+
+	// fout maps a packed local pointer location to the cross-shard
+	// reference it holds; foutCount[src] counts how many of src's fields
+	// appear in fout, so discards skip the probe when zero.
+	fout      map[uint64]foreignRef
+	foutCount map[uint32]int32
+	// xin[local] counts live cross-shard references to the local object.
+	// Its keys are extra collection roots (sim.SetExternalRoots).
+	xin        map[uint32]int32
+	xinScratch []heap.OID
+
+	// out accumulates the current epoch's outgoing deltas per target
+	// shard, in generation order.
+	out [][]delta
+
+	events        int64
+	busyNs        int64
+	exchangeNs    int64
+	foreignWrites int64
+	deltasSent    int64
+	deltasRecv    int64
+	msgsSent      int64
+
+	// Parallel-mode plumbing. batchCh delivers epoch batches, freeCh
+	// returns drained ones to the demuxer, inbox receives delta messages.
+	// stash holds messages that arrived one epoch early; perFrom gathers
+	// the current epoch's deltas by sender so they apply in sender order.
+	batchCh chan *Batch
+	freeCh  chan *Batch
+	inbox   chan deltaMsg
+	stash   []deltaMsg
+	perFrom [][]delta
+	done    chan struct{}
+	err     error
+}
+
+// Engine runs one sharded simulation. Build one with New, run it once
+// with Run, then inspect per-shard state through the accessors.
+type Engine struct {
+	cfg         Config
+	epochEvents int64
+	router      *Router
+	runners     []*shardRunner
+	ran         bool
+}
+
+// New builds an engine from cfg: a router over the configured shard
+// count and one private simulator per shard, each seeded with the base
+// seed offset by its shard index.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	router, err := NewRouter(cfg.Shards, cfg.Assignment, cfg.RangeBlock)
+	if err != nil {
+		return nil, err
+	}
+	epochEvents := cfg.EpochEvents
+	if epochEvents <= 0 {
+		epochEvents = DefaultEpochEvents
+	}
+	e := &Engine{cfg: cfg, epochEvents: epochEvents, router: router}
+	for i := 0; i < cfg.Shards; i++ {
+		sc := cfg.Sim
+		sc.Seed = cfg.Sim.Seed + int64(i)
+		s, err := sim.New(sc)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		r := &shardRunner{
+			id:        i,
+			eng:       e,
+			sim:       s,
+			fout:      make(map[uint64]foreignRef),
+			foutCount: make(map[uint32]int32),
+			xin:       make(map[uint32]int32),
+			out:       make([][]delta, cfg.Shards),
+			perFrom:   make([][]delta, cfg.Shards),
+		}
+		s.SetExternalRoots(r.externalRoots)
+		s.SetOnDiscard(r.onDiscard)
+		e.runners = append(e.runners, r)
+	}
+	return e, nil
+}
+
+// Router exposes the engine's partition-space → shard mapping.
+func (e *Engine) Router() *Router { return e.router }
+
+// Sim exposes shard i's simulator for post-run inspection (the engine's
+// Run already called Finish on it).
+func (e *Engine) Sim(i int) *sim.Sim { return e.runners[i].sim }
+
+// ExternalRefs calls fn for each of shard i's externally referenced
+// local objects with its reference count, in ascending OID order.
+func (e *Engine) ExternalRefs(i int, fn func(local heap.OID, refs int)) {
+	r := e.runners[i]
+	r.xinScratch = r.xinScratch[:0]
+	for local := range r.xin {
+		r.xinScratch = append(r.xinScratch, heap.OID(local))
+	}
+	slices.Sort(r.xinScratch)
+	for _, oid := range r.xinScratch {
+		fn(oid, int(r.xin[uint32(oid)]))
+	}
+}
+
+// ForeignRefs calls fn for each cross-shard pointer shard i holds:
+// source local OID and field, target shard and target local OID, in
+// source-then-field order.
+func (e *Engine) ForeignRefs(i int, fn func(src heap.OID, field int, shard int, target heap.OID)) {
+	r := e.runners[i]
+	keys := make([]uint64, 0, len(r.fout))
+	for k := range r.fout {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	for _, k := range keys {
+		ref := r.fout[k]
+		fn(heap.OID(k>>16), int(k&(1<<16-1)), int(ref.shard), heap.OID(ref.target))
+	}
+}
+
+// Run replays one trace through the engine: replay must stream every
+// event of the trace into the sink it is handed (a ChunkStream.Replay
+// method value, a Buffer replay closure, ...) and return. Run consumes
+// the engine; it may be called once.
+func (e *Engine) Run(replay func(trace.Sink) error) (Result, error) {
+	if e.ran {
+		return Result{}, fmt.Errorf("shard: engine already ran")
+	}
+	e.ran = true
+	if e.cfg.Parallel && e.cfg.Shards > 1 {
+		return e.runParallel(replay)
+	}
+	return e.runSerial(replay)
+}
+
+// runSerial drives every shard on the caller's goroutine: per epoch,
+// apply each shard's batch in shard order, then exchange deltas in
+// (receiver, sender) order — the same per-receiver application order the
+// parallel barrier enforces, which is what makes the two modes
+// bit-identical.
+func (e *Engine) runSerial(replay func(trace.Sink) error) (Result, error) {
+	d := NewDemuxer(e.router, e.epochEvents, func(batches []*Batch, final bool) ([]*Batch, error) {
+		for i, r := range e.runners {
+			t0 := time.Now() //odbgc:nondet-ok wall-clock feeds only the busy-time perf metric, never simulation results
+			err := r.drainBatch(batches[i])
+			r.busyNs += int64(time.Since(t0)) //odbgc:nondet-ok wall-clock feeds only the busy-time perf metric, never simulation results
+			if err != nil {
+				return nil, fmt.Errorf("shard %d: %w", i, err)
+			}
+		}
+		for _, recv := range e.runners {
+			for from, send := range e.runners {
+				if from == recv.id {
+					continue
+				}
+				if len(send.out[recv.id]) > 0 {
+					send.msgsSent++
+				}
+				if err := recv.applyDeltas(from, send.out[recv.id]); err != nil {
+					return nil, err
+				}
+			}
+		}
+		for _, r := range e.runners {
+			for t := range r.out {
+				r.out[t] = r.out[t][:0]
+			}
+		}
+		return batches, nil
+	})
+	if err := replay(d); err != nil {
+		return Result{}, err
+	}
+	if err := d.Flush(); err != nil {
+		return Result{}, err
+	}
+	return e.finish(d), nil
+}
+
+// runParallel runs each shard on its own goroutine, the demux on the
+// caller's. Batches flow demux → shard and back through per-shard
+// channels (two spare batches per shard bound the demuxer's lead);
+// deltas flow shard → shard through bounded inboxes whose capacity 2N
+// suffices because a shard's own barrier keeps it within one epoch of
+// every peer.
+func (e *Engine) runParallel(replay func(trace.Sink) error) (Result, error) {
+	n := e.cfg.Shards
+	for _, r := range e.runners {
+		r.batchCh = make(chan *Batch, 1)
+		r.freeCh = make(chan *Batch, 2)
+		r.freeCh <- new(Batch)
+		r.freeCh <- new(Batch)
+		r.inbox = make(chan deltaMsg, 2*n)
+		r.done = make(chan struct{})
+		go r.loop()
+	}
+	next := make([]*Batch, n)
+	d := NewDemuxer(e.router, e.epochEvents, func(batches []*Batch, final bool) ([]*Batch, error) {
+		for i, r := range e.runners {
+			r.batchCh <- batches[i]
+		}
+		if final {
+			return nil, nil
+		}
+		for i, r := range e.runners {
+			next[i] = <-r.freeCh
+		}
+		return next, nil
+	})
+	replayErr := replay(d)
+	if replayErr == nil {
+		replayErr = d.Flush()
+	}
+	if replayErr != nil {
+		// The trace itself failed to demux; release the shards (each one
+		// has applied the same number of complete epochs) and surface the
+		// replay error.
+		for _, r := range e.runners {
+			close(r.batchCh)
+		}
+	}
+	for _, r := range e.runners {
+		<-r.done
+	}
+	if replayErr != nil {
+		return Result{}, replayErr
+	}
+	for _, r := range e.runners {
+		if r.err != nil {
+			return Result{}, r.err
+		}
+	}
+	return e.finish(d), nil
+}
+
+// loop is one shard goroutine: apply the epoch batch, send exactly one
+// delta message to every peer, then wait for the peers' N-1 messages for
+// the same epoch (the barrier) and apply them in sender order. After an
+// error the shard keeps exchanging empty messages so its peers never
+// stall; the first error by shard order is reported by Run.
+func (r *shardRunner) loop() {
+	defer close(r.done)
+	for b := range r.batchCh {
+		if r.err == nil {
+			t0 := time.Now() //odbgc:nondet-ok wall-clock feeds only the busy-time perf metric, never simulation results
+			err := r.drainBatch(b)
+			r.busyNs += int64(time.Since(t0)) //odbgc:nondet-ok wall-clock feeds only the busy-time perf metric, never simulation results
+			if err != nil {
+				r.err = fmt.Errorf("shard %d: %w", r.id, err)
+			}
+		}
+		t0 := time.Now() //odbgc:nondet-ok wall-clock feeds only the exchange-time perf metric, never simulation results
+		r.sendDeltas(b.Epoch)
+		err := r.exchange(b.Epoch)
+		r.exchangeNs += int64(time.Since(t0)) //odbgc:nondet-ok wall-clock feeds only the exchange-time perf metric, never simulation results
+		if err != nil && r.err == nil {
+			r.err = err
+		}
+		if b.Final {
+			return
+		}
+		r.freeCh <- b
+	}
+}
+
+// sendDeltas ships the epoch's accumulated deltas: one message per peer,
+// empty when the shard has nothing to say (the message itself is the
+// barrier token). Delta slices are cloned because the receiver reads
+// them after this shard has moved on.
+func (r *shardRunner) sendDeltas(epoch int64) {
+	for t, peer := range r.eng.runners {
+		if t == r.id {
+			continue
+		}
+		var ds []delta
+		if len(r.out[t]) > 0 {
+			ds = slices.Clone(r.out[t])
+			r.out[t] = r.out[t][:0]
+			r.msgsSent++
+		}
+		peer.inbox <- deltaMsg{epoch: epoch, from: r.id, deltas: ds}
+	}
+}
+
+// exchange waits for the N-1 peer messages of the given epoch, stashing
+// any that arrive one epoch early, and applies them in sender order —
+// the fixed order that makes the result independent of arrival order.
+// After a shard error the messages are still consumed (the barrier must
+// hold) but not applied.
+func (r *shardRunner) exchange(epoch int64) error {
+	n := len(r.eng.runners)
+	for i := range r.perFrom {
+		r.perFrom[i] = nil
+	}
+	got := 0
+	keep := r.stash[:0]
+	for _, m := range r.stash {
+		if m.epoch == epoch {
+			r.perFrom[m.from] = m.deltas
+			got++
+		} else {
+			keep = append(keep, m)
+		}
+	}
+	r.stash = keep
+	for got < n-1 {
+		m := <-r.inbox
+		if m.epoch != epoch {
+			r.stash = append(r.stash, m)
+			continue
+		}
+		r.perFrom[m.from] = m.deltas
+		got++
+	}
+	if r.err != nil {
+		return nil
+	}
+	for from := 0; from < n; from++ {
+		if from == r.id {
+			continue
+		}
+		if err := r.applyDeltas(from, r.perFrom[from]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drainBatch applies one epoch batch to the shard's simulator,
+// interposing the cross-shard half of the write barrier on writes. This
+// is the shard-local phase: the loop the busy counters time, and the
+// zero-alloc fast path the AllocsPerRun guard and hotalloc pin — a
+// shard with no cross-traffic (empty fout, no marks) pays one length
+// check per write over a plain replay.
+//
+//odbgc:hotpath
+func (r *shardRunner) drainBatch(b *Batch) error {
+	fi := 0
+	for i := range b.Events {
+		e := b.Events[i]
+		switch e.Kind {
+		case trace.KindWrite:
+			var fw *ForeignWrite
+			if fi < len(b.Foreign) && int(b.Foreign[fi].Pos) == i {
+				fw = &b.Foreign[fi]
+				fi++
+			}
+			if fw != nil || len(r.fout) > 0 {
+				overwrote, err := r.foreignBarrier(e.OID, e.Field, fw)
+				if err != nil {
+					return err
+				}
+				if err := r.sim.Emit(e); err != nil {
+					return err
+				}
+				if overwrote {
+					r.sim.NoteForeignOverwrite()
+				}
+				continue
+			}
+		case trace.KindCreate:
+			// The creating store parent.ParentField = child can overwrite a
+			// foreign reference just like an explicit write.
+			if e.Parent != heap.NilOID && len(r.fout) > 0 {
+				overwrote, err := r.foreignBarrier(e.Parent, e.ParentField, nil)
+				if err != nil {
+					return err
+				}
+				if err := r.sim.Emit(e); err != nil {
+					return err
+				}
+				if overwrote {
+					r.sim.NoteForeignOverwrite()
+				}
+				continue
+			}
+		case trace.KindRoot, trace.KindRead, trace.KindModify:
+			// No pointer store, so nothing can displace a foreign
+			// reference; these take the plain emit below.
+		}
+		if err := r.sim.Emit(e); err != nil {
+			return err
+		}
+	}
+	r.events += int64(len(b.Events))
+	return nil
+}
+
+// foreignBarrier is the cross-shard half of the write barrier for the
+// store src.field = <new value>: it retracts the reference the
+// stored-into location previously held (enqueueing a remove delta for
+// the old target's shard) and records the new one (an add delta; fw nil
+// means the new value is local or nil). It runs before the store reaches
+// the simulator, so a collection the store triggers observes current
+// foreign bookkeeping — if the source dies in that collection, the
+// discard hook below retracts the entry just made, and the target shard
+// sees add then remove in order. The returned flag reports an overwrite
+// of a foreign reference, which the local barrier cannot see (the
+// location holds nil locally) and the caller must feed to the trigger.
+func (r *shardRunner) foreignBarrier(src heap.OID, field int, fw *ForeignWrite) (bool, error) {
+	if field < 0 || field >= 1<<16 {
+		return false, fmt.Errorf("shard %d: write field %d outside the packed location range", r.id, field)
+	}
+	key := packLoc(uint32(src), field)
+	overwrote := false
+	if old, ok := r.fout[key]; ok {
+		delete(r.fout, key)
+		if n := r.foutCount[uint32(src)] - 1; n == 0 {
+			delete(r.foutCount, uint32(src))
+		} else {
+			r.foutCount[uint32(src)] = n
+		}
+		r.enqueue(int(old.shard), delta{target: old.target, remove: true})
+		overwrote = true
+	}
+	if fw != nil {
+		r.fout[key] = foreignRef{shard: fw.Shard, target: fw.Target}
+		r.foutCount[uint32(src)]++
+		r.enqueue(int(fw.Shard), delta{target: fw.Target})
+		r.foreignWrites++
+	}
+	return overwrote, nil
+}
+
+// enqueue appends one delta to the epoch's outgoing buffer for a shard.
+func (r *shardRunner) enqueue(to int, d delta) {
+	r.out[to] = append(r.out[to], d)
+	r.deltasSent++
+}
+
+// applyDeltas folds one sender's deltas into the external reference
+// counts. Counts never go negative: every remove retracts a previously
+// delivered add, because a location's add precedes its remove at the
+// sender and sender order is preserved end to end.
+func (r *shardRunner) applyDeltas(from int, ds []delta) error {
+	for _, d := range ds {
+		r.deltasRecv++
+		if d.remove {
+			switch n := r.xin[d.target] - 1; {
+			case n < 0:
+				return fmt.Errorf("shard %d: external refcount underflow on local OID %d (remove from shard %d)", r.id, d.target, from)
+			case n == 0:
+				delete(r.xin, d.target)
+			default:
+				r.xin[d.target] = n
+			}
+		} else {
+			r.xin[d.target]++
+		}
+	}
+	return nil
+}
+
+// externalRoots feeds the collector the objects other shards reference,
+// in ascending OID order (sim.SetExternalRoots). References to objects
+// already collected locally are filtered by the collector's residency
+// check — an add can race a local collection within an epoch, and OIDs
+// are never reused, so a stale count is harmless until its remove
+// arrives.
+func (r *shardRunner) externalRoots(_ heap.PartitionID, add func(heap.OID)) {
+	r.xinScratch = r.xinScratch[:0]
+	for local := range r.xin {
+		r.xinScratch = append(r.xinScratch, heap.OID(local))
+	}
+	slices.Sort(r.xinScratch)
+	for _, oid := range r.xinScratch {
+		add(oid)
+	}
+}
+
+// onDiscard retracts the cross-shard references of a dying object while
+// its fields are still intact (sim.SetOnDiscard), so the target shards
+// stop treating the referents as externally rooted.
+func (r *shardRunner) onDiscard(oid heap.OID) {
+	n, ok := r.foutCount[uint32(oid)]
+	if !ok {
+		return
+	}
+	obj := r.sim.Heap().Get(oid)
+	for f := range obj.Fields {
+		key := packLoc(uint32(oid), f)
+		if ref, ok := r.fout[key]; ok {
+			delete(r.fout, key)
+			r.enqueue(int(ref.shard), delta{target: ref.target, remove: true})
+			n--
+		}
+	}
+	if n != 0 {
+		panic(fmt.Sprintf("shard %d: foreign out-count drift for local OID %d (%d unmatched)", r.id, oid, n))
+	}
+	delete(r.foutCount, uint32(oid))
+}
+
+// finish assembles the run's Result, finishing every shard simulator.
+func (e *Engine) finish(d *Demuxer) Result {
+	res := Result{
+		Shards:      e.cfg.Shards,
+		Assignment:  e.cfg.Assignment,
+		Parallel:    e.cfg.Parallel && e.cfg.Shards > 1,
+		EpochEvents: e.epochEvents,
+		Epochs:      d.Epoch() + 1,
+		Events:      d.Events(),
+		Trees:       e.router.Trees(),
+	}
+	for _, r := range e.runners {
+		sr := ShardResult{
+			Shard:              r.id,
+			Events:             r.events,
+			Result:             r.sim.Finish(),
+			GarbageByPartition: slices.Clone(r.sim.Oracle().GarbageByPartition()),
+			BusyNs:             r.busyNs,
+			ExchangeNs:         r.exchangeNs,
+			ForeignWrites:      r.foreignWrites,
+			DeltasSent:         r.deltasSent,
+			DeltasReceived:     r.deltasRecv,
+			MessagesSent:       r.msgsSent,
+			ExternalRefs:       len(r.xin),
+		}
+		res.PerShard = append(res.PerShard, sr)
+		res.AppIOs += sr.Result.AppIOs
+		res.GCIOs += sr.Result.GCIOs
+		res.TotalIOs += sr.Result.TotalIOs
+		res.Collections += sr.Result.Collections
+		res.Declined += sr.Result.Declined
+		res.ReclaimedBytes += sr.Result.ReclaimedBytes
+		res.TotalAllocatedBytes += sr.Result.TotalAllocatedBytes
+		res.ForeignWrites += sr.ForeignWrites
+		res.DeltasExchanged += sr.DeltasSent
+		res.MessagesSent += sr.MessagesSent
+		res.BusyNsTotal += sr.BusyNs
+		if sr.BusyNs > res.BusyNsMax {
+			res.BusyNsMax = sr.BusyNs
+		}
+		if sr.Events > res.MaxShardEvents {
+			res.MaxShardEvents = sr.Events
+		}
+	}
+	if res.Events > 0 {
+		res.Imbalance = float64(res.MaxShardEvents) * float64(res.Shards) / float64(res.Events)
+	}
+	return res
+}
+
+// ShardResult is one shard's outcome.
+type ShardResult struct {
+	// Shard identifies the shard; Events is how many events it applied.
+	Shard  int
+	Events int64
+	// Result is the shard simulator's standard result.
+	Result sim.Result
+	// GarbageByPartition is the shard heap's final per-partition garbage
+	// bytes — part of what the selfcheck compares bit-for-bit across
+	// engine modes.
+	GarbageByPartition []int64
+	// BusyNs is wall time spent inside the shard-local apply loop;
+	// ExchangeNs is wall time sending, awaiting, and applying deltas
+	// (parallel mode only — the serial engine has no exchange wait).
+	BusyNs, ExchangeNs int64
+	// ForeignWrites counts writes whose target lives on another shard;
+	// DeltasSent/DeltasReceived and MessagesSent count the exchange
+	// volume they generated.
+	ForeignWrites  int64
+	DeltasSent     int64
+	DeltasReceived int64
+	MessagesSent   int64
+	// ExternalRefs is the final number of distinct local objects other
+	// shards hold references to.
+	ExternalRefs int
+}
+
+// Result aggregates one sharded run.
+type Result struct {
+	// Shards, Assignment, Parallel, EpochEvents echo the configuration;
+	// Epochs, Events, Trees describe the demultiplexed trace.
+	Shards      int
+	Assignment  Assignment
+	Parallel    bool
+	EpochEvents int64
+	Epochs      int64
+	Events      int64
+	Trees       int64
+	// PerShard holds each shard's outcome, indexed by shard.
+	PerShard []ShardResult
+
+	// Sums over shards of the corresponding per-shard counters.
+	AppIOs, GCIOs, TotalIOs int64
+	Collections, Declined   int64
+	ReclaimedBytes          int64
+	TotalAllocatedBytes     int64
+	ForeignWrites           int64
+	DeltasExchanged         int64
+	MessagesSent            int64
+
+	// MaxShardEvents and Imbalance describe the demux skew: Imbalance is
+	// MaxShardEvents·Shards/Events, 1.0 for a perfect split.
+	MaxShardEvents int64
+	Imbalance      float64
+	// BusyNsTotal and BusyNsMax decompose the shard-local phase:
+	// BusyNsMax is the critical path a perfectly parallel machine would
+	// pay, BusyNsTotal the serial work. Their ratio is the shard-local
+	// scaling the bench preset reports — on a single-CPU host the
+	// goroutines timeshare, so wall clock does not show it directly.
+	BusyNsTotal, BusyNsMax int64
+}

@@ -1,0 +1,140 @@
+package shard
+
+import (
+	"fmt"
+
+	"odbgc/internal/heap"
+	"odbgc/internal/trace"
+)
+
+// maxRouterOID bounds the global OIDs a router accepts. OIDs are handed
+// out densely from 1 by every generator in the tree, so the dense
+// shard/local tables below are the right structure; the cap keeps a
+// corrupted trace from growing them without bound (2^32 OIDs is ~20 GB
+// of table — beyond any trace this simulator replays).
+const maxRouterOID = 1 << 32
+
+// Router owns the partition-space → shard mapping. Objects are assigned
+// at creation — a root create (no parent) gets a shard from the
+// assignment policy, a child inherits its parent's shard — and each
+// shard's objects are renumbered into a dense private OID space, so a
+// shard's simulator is indistinguishable from one running alone.
+//
+// The tables are dense arrays indexed by global OID: 5 bytes per object,
+// grown in creation order, never rehashed. A local OID of 0 marks an
+// unassigned slot (local OIDs start at 1, like global ones).
+type Router struct {
+	shards     int
+	assignment Assignment
+	block      int
+
+	shardOf   []uint8  // shardOf[global] = owning shard
+	localOf   []uint32 // localOf[global] = per-shard local OID; 0 = unassigned
+	nextLocal []uint32 // next local OID per shard
+	trees     int64    // root creates seen (assignment counter)
+}
+
+// NewRouter returns a router over the given shard count and assignment
+// policy. block is the Range assignment's trees-per-block (0 selects
+// DefaultRangeBlock).
+func NewRouter(shards int, assignment Assignment, block int) (*Router, error) {
+	if shards < 1 || shards > MaxShards {
+		return nil, fmt.Errorf("shard: router shard count %d outside [1,%d]", shards, MaxShards)
+	}
+	if block < 0 {
+		return nil, fmt.Errorf("shard: router range block %d negative", block)
+	}
+	if block == 0 {
+		block = DefaultRangeBlock
+	}
+	return &Router{
+		shards:     shards,
+		assignment: assignment,
+		block:      block,
+		nextLocal:  make([]uint32, shards),
+	}, nil
+}
+
+// Shards reports the shard count.
+func (r *Router) Shards() int { return r.shards }
+
+// Trees reports how many trees (root creates) have been assigned.
+func (r *Router) Trees() int64 { return r.trees }
+
+// Assigned reports how many objects have been routed to shard s.
+func (r *Router) Assigned(s int) int64 { return int64(r.nextLocal[s]) }
+
+// assignTree picks the shard for a new tree.
+func (r *Router) assignTree() int {
+	tree := r.trees
+	r.trees++
+	if r.assignment == Range {
+		return int((tree / int64(r.block)) % int64(r.shards))
+	}
+	return int(tree % int64(r.shards))
+}
+
+// Create assigns a newly created object to a shard — its parent's shard,
+// or a fresh tree assignment when parent is nil — and returns the shard
+// and the object's local OID there. Each global OID may be created once.
+func (r *Router) Create(oid, parent heap.OID) (int, heap.OID, error) {
+	if oid == heap.NilOID || oid >= maxRouterOID {
+		return 0, 0, fmt.Errorf("shard: create of OID %d outside the router's dense range [1,%d)", oid, uint64(maxRouterOID))
+	}
+	if int(oid) < len(r.localOf) && r.localOf[oid] != 0 {
+		return 0, 0, fmt.Errorf("shard: duplicate create of OID %d", oid)
+	}
+	var s int
+	if parent == heap.NilOID {
+		s = r.assignTree()
+	} else {
+		var err error
+		s, _, err = r.Lookup(parent)
+		if err != nil {
+			return 0, 0, fmt.Errorf("shard: create of OID %d: %w", oid, err)
+		}
+	}
+	for int(oid) >= len(r.localOf) {
+		n := len(r.localOf) * 2
+		if n <= int(oid) {
+			n = int(oid) + 1
+		}
+		if n < 1024 {
+			n = 1024
+		}
+		grown := make([]uint32, n)
+		copy(grown, r.localOf)
+		r.localOf = grown
+		grownS := make([]uint8, n)
+		copy(grownS, r.shardOf)
+		r.shardOf = grownS
+	}
+	r.nextLocal[s]++
+	r.shardOf[oid] = uint8(s)
+	r.localOf[oid] = r.nextLocal[s]
+	return s, heap.OID(r.nextLocal[s]), nil
+}
+
+// Lookup returns the shard and local OID of a previously created object.
+func (r *Router) Lookup(oid heap.OID) (int, heap.OID, error) {
+	if oid == heap.NilOID || int(oid) >= len(r.localOf) || r.localOf[oid] == 0 {
+		return 0, 0, fmt.Errorf("shard: OID %d referenced before creation", oid)
+	}
+	return int(r.shardOf[oid]), heap.OID(r.localOf[oid]), nil
+}
+
+// Route places one event without rewriting it, returning the shard that
+// will apply it (creates are assigned as a side effect, so events must
+// be routed in trace order). traceinfo's shard histograms use it.
+func (r *Router) Route(e trace.Event) (int, error) {
+	switch e.Kind {
+	case trace.KindCreate:
+		s, _, err := r.Create(e.OID, e.Parent)
+		return s, err
+	case trace.KindRoot, trace.KindRead, trace.KindWrite, trace.KindModify:
+		s, _, err := r.Lookup(e.OID)
+		return s, err
+	default:
+		return 0, fmt.Errorf("shard: route of invalid event kind %v", e.Kind)
+	}
+}

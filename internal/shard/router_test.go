@@ -1,0 +1,238 @@
+package shard
+
+import (
+	"testing"
+
+	"odbgc/internal/heap"
+	"odbgc/internal/trace"
+)
+
+func mustCreate(t *testing.T, r *Router, oid, parent heap.OID) (int, heap.OID) {
+	t.Helper()
+	s, local, err := r.Create(oid, parent)
+	if err != nil {
+		t.Fatalf("Create(%d, parent %d): %v", oid, parent, err)
+	}
+	return s, local
+}
+
+func TestRouterRoundRobin(t *testing.T) {
+	r, err := NewRouter(4, RoundRobin, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eight roots deal out 0,1,2,3,0,1,2,3; each shard's locals count up
+	// densely from 1.
+	for i := 0; i < 8; i++ {
+		oid := heap.OID(i + 1)
+		s, local := mustCreate(t, r, oid, heap.NilOID)
+		if s != i%4 {
+			t.Errorf("root %d: shard %d, want %d", oid, s, i%4)
+		}
+		if want := heap.OID(i/4 + 1); local != want {
+			t.Errorf("root %d: local %d, want %d", oid, local, want)
+		}
+	}
+	// Children inherit the parent's shard and extend its local space.
+	s, local := mustCreate(t, r, 9, 1)
+	if s != 0 || local != 3 {
+		t.Errorf("child of root 1: shard %d local %d, want shard 0 local 3", s, local)
+	}
+	s, local = mustCreate(t, r, 10, 9)
+	if s != 0 || local != 4 {
+		t.Errorf("grandchild: shard %d local %d, want shard 0 local 4", s, local)
+	}
+	// Lookup is stable and agrees with creation.
+	for _, oid := range []heap.OID{1, 5, 9, 10} {
+		s1, l1, err := r.Lookup(oid)
+		if err != nil {
+			t.Fatalf("Lookup(%d): %v", oid, err)
+		}
+		s2, l2, err := r.Lookup(oid)
+		if err != nil || s1 != s2 || l1 != l2 {
+			t.Errorf("Lookup(%d) unstable: (%d,%d) then (%d,%d,%v)", oid, s1, l1, s2, l2, err)
+		}
+	}
+	if r.Trees() != 8 {
+		t.Errorf("Trees() = %d, want 8", r.Trees())
+	}
+	if got := r.Assigned(0); got != 4 {
+		t.Errorf("Assigned(0) = %d, want 4", got)
+	}
+}
+
+func TestRouterRange(t *testing.T) {
+	r, err := NewRouter(3, Range, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block size 2: trees 0,1 → shard 0; 2,3 → shard 1; 4,5 → shard 2;
+	// 6,7 wrap to shard 0.
+	want := []int{0, 0, 1, 1, 2, 2, 0, 0}
+	for i, w := range want {
+		s, _ := mustCreate(t, r, heap.OID(i+1), heap.NilOID)
+		if s != w {
+			t.Errorf("tree %d: shard %d, want %d", i, s, w)
+		}
+	}
+}
+
+func TestRouterSingleShardIdentity(t *testing.T) {
+	r, err := NewRouter(1, RoundRobin, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With one shard and OIDs handed out densely from 1 — how every
+	// generator in the tree numbers objects — the local space is the
+	// identity mapping.
+	parent := heap.NilOID
+	for oid := heap.OID(1); oid <= 100; oid++ {
+		s, local := mustCreate(t, r, oid, parent)
+		if s != 0 || local != oid {
+			t.Fatalf("OID %d: shard %d local %d, want shard 0 local %d", oid, s, local, oid)
+		}
+		if oid%7 == 0 {
+			parent = heap.NilOID // occasional new root
+		} else {
+			parent = oid
+		}
+	}
+}
+
+func TestRouterErrors(t *testing.T) {
+	r, err := NewRouter(2, RoundRobin, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Create(heap.NilOID, heap.NilOID); err == nil {
+		t.Error("Create(nil OID) succeeded")
+	}
+	if _, _, err := r.Create(maxRouterOID, heap.NilOID); err == nil {
+		t.Error("Create beyond the dense range succeeded")
+	}
+	mustCreate(t, r, 1, heap.NilOID)
+	if _, _, err := r.Create(1, heap.NilOID); err == nil {
+		t.Error("duplicate Create succeeded")
+	}
+	if _, _, err := r.Create(2, 99); err == nil {
+		t.Error("Create with unknown parent succeeded")
+	}
+	if _, _, err := r.Lookup(42); err == nil {
+		t.Error("Lookup of never-created OID succeeded")
+	}
+	if _, err := r.Route(trace.Event{Kind: trace.Kind(99), OID: 1}); err == nil {
+		t.Error("Route of invalid kind succeeded")
+	}
+	if _, err := NewRouter(0, RoundRobin, 0); err == nil {
+		t.Error("NewRouter(0 shards) succeeded")
+	}
+	if _, err := NewRouter(MaxShards+1, RoundRobin, 0); err == nil {
+		t.Error("NewRouter above the shard cap succeeded")
+	}
+	if _, err := NewRouter(2, Range, -1); err == nil {
+		t.Error("NewRouter with negative block succeeded")
+	}
+}
+
+// FuzzShardRouter drives random create/lookup sequences against an
+// independent model of the assignment policy and checks the router's
+// core promises: roots follow the policy, children inherit their
+// parent's shard, every shard's local space is dense from 1, and
+// lookups are stable.
+func FuzzShardRouter(f *testing.F) {
+	f.Add(uint8(4), uint8(0), uint8(0), []byte{0, 0, 1, 0, 2, 1, 3, 2, 0, 0})
+	f.Add(uint8(1), uint8(0), uint8(1), []byte{0, 0, 1, 1, 1, 2})
+	f.Add(uint8(7), uint8(1), uint8(3), []byte{0, 0, 0, 0, 2, 1, 2, 2, 2, 3, 1, 4})
+	f.Fuzz(func(t *testing.T, nshards, assign, block uint8, ops []byte) {
+		shards := int(nshards%MaxShards) + 1
+		assignment := Assignment(assign % 2)
+		blockSize := int(block%8) + 1
+		r, err := NewRouter(shards, assignment, blockSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		shardOf := make(map[heap.OID]int) // model
+		localCount := make([]int, shards)
+		created := []heap.OID{}
+		trees := int64(0)
+		next := heap.OID(1)
+
+		for i := 0; i+1 < len(ops); i += 2 {
+			op, arg := ops[i], ops[i+1]
+			switch op % 3 {
+			case 0: // create root
+				want := 0
+				if assignment == Range {
+					want = int((trees / int64(blockSize)) % int64(shards))
+				} else {
+					want = int(trees % int64(shards))
+				}
+				trees++
+				s, local, err := r.Create(next, heap.NilOID)
+				if err != nil {
+					t.Fatalf("root create %d: %v", next, err)
+				}
+				if s != want {
+					t.Fatalf("root %d: shard %d, want %d (%v, block %d)", next, s, want, assignment, blockSize)
+				}
+				localCount[s]++
+				if local != heap.OID(localCount[s]) {
+					t.Fatalf("root %d: local %d, want dense %d", next, local, localCount[s])
+				}
+				shardOf[next] = s
+				created = append(created, next)
+				next++
+			case 1: // create child of an existing object
+				if len(created) == 0 {
+					continue
+				}
+				parent := created[int(arg)%len(created)]
+				s, local, err := r.Create(next, parent)
+				if err != nil {
+					t.Fatalf("child create %d of %d: %v", next, parent, err)
+				}
+				if s != shardOf[parent] {
+					t.Fatalf("child %d: shard %d, parent %d on shard %d", next, s, parent, shardOf[parent])
+				}
+				localCount[s]++
+				if local != heap.OID(localCount[s]) {
+					t.Fatalf("child %d: local %d, want dense %d", next, local, localCount[s])
+				}
+				shardOf[next] = s
+				created = append(created, next)
+				next++
+			case 2: // lookup
+				if len(created) == 0 {
+					continue
+				}
+				oid := created[int(arg)%len(created)]
+				s, local, err := r.Lookup(oid)
+				if err != nil {
+					t.Fatalf("Lookup(%d): %v", oid, err)
+				}
+				if s != shardOf[oid] {
+					t.Fatalf("Lookup(%d): shard %d, want %d", oid, s, shardOf[oid])
+				}
+				if local == 0 || local > heap.OID(localCount[s]) {
+					t.Fatalf("Lookup(%d): local %d outside dense range [1,%d]", oid, local, localCount[s])
+				}
+			}
+		}
+
+		// The per-shard assignment counters must agree with the model.
+		total := int64(0)
+		for s := 0; s < shards; s++ {
+			if r.Assigned(s) != int64(localCount[s]) {
+				t.Fatalf("Assigned(%d) = %d, model %d", s, r.Assigned(s), localCount[s])
+			}
+			total += r.Assigned(s)
+		}
+		if total != int64(len(created)) {
+			t.Fatalf("assigned total %d, created %d", total, len(created))
+		}
+		if r.Trees() != trees {
+			t.Fatalf("Trees() = %d, model %d", r.Trees(), trees)
+		}
+	})
+}

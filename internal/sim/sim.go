@@ -290,6 +290,34 @@ func (s *Sim) Oracle() *heap.Oracle { return s.oracle }
 // Config returns the run's configuration.
 func (s *Sim) Config() Config { return s.cfg }
 
+// SetExternalRoots forwards an additional evacuation root source to the
+// collector (gc.Collector.SetExternalRoots). The sharded engine uses it
+// to keep objects referenced from other shards alive.
+func (s *Sim) SetExternalRoots(fn func(victim heap.PartitionID, add func(heap.OID))) {
+	s.col.SetExternalRoots(fn)
+}
+
+// SetOnDiscard forwards a discard observer to the collector
+// (gc.Collector.SetOnDiscard). The sharded engine uses it to retract
+// remset deltas for a dying object's cross-shard pointers.
+func (s *Sim) SetOnDiscard(fn func(oid heap.OID)) { s.col.SetOnDiscard(fn) }
+
+// NoteForeignOverwrite records a pointer overwrite whose previous value
+// was a reference outside this simulator's heap — the sharded engine's
+// cross-shard references, which are stored as nil locally. The note
+// feeds the collection trigger exactly as a local overwrite does, so a
+// sharded run's trigger cadence matches what an unsharded simulator
+// would see for the same stores.
+func (s *Sim) NoteForeignOverwrite() {
+	s.mut.NoteForeignOverwrite()
+	if n := s.mut.OverwritesSinceCollection(); n > s.lastOverwrite {
+		s.lastOverwrite = n
+		if s.trig.RecordOverwrite() {
+			s.collect()
+		}
+	}
+}
+
 // CollectorStats returns the collector counters for the current
 // measurement window.
 func (s *Sim) CollectorStats() gc.CollectorStats { return s.col.Stats() }

@@ -64,6 +64,14 @@ type Config struct {
 	// edge to a random node of the same tree. Database connectivity
 	// (pointers per object) is approximately 1 + DenseEdgeFraction.
 	DenseEdgeFraction float64
+	// CrossTreeFraction is the probability that a dense edge targets a
+	// random alive node of a uniformly chosen tree instead of the node's
+	// own tree — the inter-session sharing of a multi-user object
+	// database, and the cross-shard traffic a sharded simulation
+	// (internal/shard) must exchange. The paper's workload keeps every
+	// edge intra-tree (0, the default). A zero value draws no extra
+	// randomness, so traces for existing configurations are unchanged.
+	CrossTreeFraction float64
 
 	// PNoTraversal, PDepthFirst select the traversal style per visit
 	// action; the remainder is breadth-first (the paper: 30% none, 20%
@@ -130,6 +138,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("workload: MeanTreeNodes %d too small", c.MeanTreeNodes)
 	case c.DenseEdgeFraction < 0 || c.DenseEdgeFraction > 1:
 		return fmt.Errorf("workload: DenseEdgeFraction %v outside [0,1]", c.DenseEdgeFraction)
+	case c.CrossTreeFraction < 0 || c.CrossTreeFraction > 1:
+		return fmt.Errorf("workload: CrossTreeFraction %v outside [0,1]", c.CrossTreeFraction)
 	case c.PNoTraversal < 0 || c.PDepthFirst < 0 || c.PNoTraversal+c.PDepthFirst > 1:
 		return fmt.Errorf("workload: traversal probabilities invalid (%v, %v)", c.PNoTraversal, c.PDepthFirst)
 	case c.PSkipEdge < 0 || c.PSkipEdge >= 1:

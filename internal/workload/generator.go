@@ -39,8 +39,10 @@ type Stats struct {
 	// Nodes and LargeObjects count allocations by class; Trees counts
 	// trees created.
 	Nodes, LargeObjects, Trees int64
-	// DenseEdges counts dense edges installed.
-	DenseEdges int64
+	// DenseEdges counts dense edges installed; CrossTreeEdges counts the
+	// subset that landed in a different tree (CrossTreeFraction > 0).
+	DenseEdges     int64
+	CrossTreeEdges int64
 	// EdgeReadWriteRatio is Reads divided by Writes+Creates-with-parent —
 	// the paper keeps it around 15–20.
 	EdgeReadWriteRatio float64
@@ -230,13 +232,29 @@ func (g *Generator) createNode(t *tree, parent heap.OID, parentField int) (heap.
 	g.allocBytes += size
 	g.stats.Nodes++
 
-	// Dense edge to a random alive node of the same tree.
+	// Dense edge to a random alive node — of the same tree, or (with
+	// probability CrossTreeFraction) of a uniformly chosen tree. The
+	// cross-tree branch draws randomness only when the knob is set, so
+	// CrossTreeFraction == 0 reproduces existing traces bit-identically.
 	if g.rng.Float64() < g.cfg.DenseEdgeFraction {
-		if target := g.pickAlive(t); target != heap.NilOID && target != oid {
+		target, crossed := heap.NilOID, false
+		if g.cfg.CrossTreeFraction > 0 && g.rng.Float64() < g.cfg.CrossTreeFraction {
+			if other := g.pickTreeUniform(); other != nil {
+				target = g.pickAlive(other)
+				crossed = other != t
+			}
+		}
+		if target == heap.NilOID {
+			target, crossed = g.pickAlive(t), false
+		}
+		if target != heap.NilOID && target != oid {
 			if err := g.emit(trace.Event{Kind: trace.KindWrite, OID: oid, Field: fieldDense, Target: target}); err != nil {
 				return 0, err
 			}
 			g.stats.DenseEdges++
+			if crossed {
+				g.stats.CrossTreeEdges++
+			}
 		}
 	}
 
