@@ -24,7 +24,7 @@ go test -race ./internal/sim ./internal/gc ./internal/shard
 # Scheduler / trace-cache smoke under the race detector: the suite-wide
 # orchestration (worker pool + shared cache) and the cache's concurrent
 # generation paths.
-go test -race -run 'Suite|Scheduler|TraceCache|RunRecorded' ./internal/experiments ./internal/workload
+go test -race -run 'Suite|Scheduler|TraceCache|RunRecorded|RecordRegenerates' ./internal/experiments ./internal/workload
 # Codec fuzz smoke: the packed decoder, the columnar freeze, and the
 # chunked codec must error, never panic, on truncated or corrupted input.
 go test -run '^$' -fuzz '^FuzzDecodeEvent$' -fuzztime 5s ./internal/trace
@@ -60,3 +60,20 @@ GOMEMLIMIT=64MiB go run ./cmd/traceinfo -chunk 0 "$stream_tmp/stream.odbgcck"
 go run ./cmd/tracegen -o "$stream_tmp/cross.odbgcck" -format chunked -alloc 10000000 -cross 0.2
 go run -race ./cmd/gcsim -trace "$stream_tmp/cross.odbgcck" -shards 4 -epoch-events 4096
 GOMEMLIMIT=192MiB go run ./cmd/gcsim -trace "$stream_tmp/stream.odbgcck" -shards 4
+# Recording + query smoke: a reduced experiments run writes a structured
+# .odbgcrec recording; odbgc-query must answer an aggregate query over
+# it and regenerate the figure CSVs byte-identically to the direct emit.
+go run ./cmd/experiments -fig45 -fig6 -seeds 2 -outdir "$stream_tmp/results" -q
+go run ./cmd/odbgc-query -info "$stream_tmp/results/experiments.odbgcrec"
+go run ./cmd/odbgc-query -group policy -agg count,sum:garbage_bytes "$stream_tmp/results/experiments.odbgcrec"
+go run ./cmd/odbgc-query -figures "$stream_tmp/regen" "$stream_tmp/results/experiments.odbgcrec"
+for fig in figure4_unreclaimed_garbage figure5_database_size figure6_storage_required; do
+    cmp "$stream_tmp/results/$fig.csv" "$stream_tmp/regen/$fig.csv"
+done
+# Record codec fuzz smoke: corrupt or truncated recordings must error
+# naming the bad segment, never panic.
+go test -run '^$' -fuzz '^FuzzRecordFile$' -fuzztime 5s ./internal/record
+# Sharded-recording race smoke: per-shard recorders under the parallel
+# engine, merged deterministically at the epoch barriers.
+go run -race ./cmd/gcsim -trace "$stream_tmp/cross.odbgcck" -shards 4 -epoch-events 4096 -record "$stream_tmp/sharded.odbgcrec"
+go run ./cmd/odbgc-query -table runs -csv "$stream_tmp/sharded.odbgcrec"

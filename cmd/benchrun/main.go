@@ -38,8 +38,11 @@
 // it through internal/shard at 1, 2, 4, and 8 shards (each leg a fresh
 // worker process for clean peak-RSS numbers), and records events/sec,
 // busy-time decomposition, shard_local_scaling, imbalance, and exchange
-// volume into results/bench/BENCH_sharded.json. -sharded-events
-// overrides the target event count (for quick checks).
+// volume into results/bench/BENCH_sharded.json. Every leg also writes a
+// structured run recording (internal/record) to the temp directory and
+// merges its row counts into the leg's metrics, so the recorder is
+// exercised under full parallel load. -sharded-events overrides the
+// target event count (for quick checks).
 //
 // The file is written to -out (default ".") as BENCH_<label>.json and holds
 // one record per benchmark: name, iterations, ns/op, B/op, allocs/op, and
@@ -115,12 +118,13 @@ func main() {
 	shardedEvents := flag.Int64("sharded-events", 500_000_000, "target event count for the -sharded preset")
 	workerTrace := flag.String("sharded-worker", "", "internal: replay this trace through the sharded engine and print one JSON result line")
 	workerShards := flag.Int("sharded-worker-shards", 1, "internal: shard count for -sharded-worker")
+	workerRecord := flag.String("sharded-worker-record", "", "internal: write a structured run recording of the -sharded-worker leg to this file")
 	flag.Parse()
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
 	if *workerTrace != "" {
-		if err := runShardedWorker(*workerTrace, *workerShards); err != nil {
+		if err := runShardedWorker(*workerTrace, *workerShards, *workerRecord); err != nil {
 			fmt.Fprintf(os.Stderr, "benchrun: %v\n", err)
 			os.Exit(1)
 		}

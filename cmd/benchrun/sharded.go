@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"odbgc/internal/core"
+	"odbgc/internal/record"
 	"odbgc/internal/shard"
 	"odbgc/internal/sim"
 	"odbgc/internal/trace"
@@ -98,9 +99,18 @@ func runShardedPreset(label, outDir string, targetEvents int64) error {
 
 	var busyTotal1 int64
 	for _, n := range shardedCounts {
-		res, err := runShardedLeg(self, genPath, n, env)
+		// Every leg records its activations; the recording lands in the
+		// temp directory and is summarized into the leg's metrics, so the
+		// preset exercises the recorder under full parallel load without
+		// shipping the (large) .odbgcrec files in the report.
+		recPath := filepath.Join(tmp, fmt.Sprintf("sharded_%d.odbgcrec", n))
+		res, err := runShardedLeg(self, genPath, n, recPath, env)
 		if err != nil {
 			return fmt.Errorf("%d-shard leg: %w", n, err)
+		}
+		recRuns, recActs, recSamps, err := recordingCounts(recPath)
+		if err != nil {
+			return fmt.Errorf("%d-shard leg recording: %w", n, err)
 		}
 		if res.Events != events {
 			return fmt.Errorf("%d-shard leg replayed %d of %d events", n, res.Events, events)
@@ -128,6 +138,9 @@ func runShardedPreset(label, outDir string, targetEvents int64) error {
 				"total_ios":        float64(res.TotalIOs),
 				"collections":      float64(res.Collections),
 				"reclaimed_mb":     float64(res.ReclaimedBytes) / (1 << 20),
+				"recorded_runs":    float64(recRuns),
+				"recorded_acts":    float64(recActs),
+				"recorded_samples": float64(recSamps),
 			},
 		}
 		if busyTotal1 > 0 && res.BusyNsMax > 0 {
@@ -155,11 +168,22 @@ func runShardedPreset(label, outDir string, targetEvents int64) error {
 	return writeReport(report, outDir)
 }
 
+// recordingCounts opens one leg's recording and reports its table sizes,
+// validating on the way that the worker wrote a well-formed file.
+func recordingCounts(path string) (runs, acts, samps int, err error) {
+	f, err := record.ReadFile(path)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return f.Runs.Rows(), f.Activations.Rows(), f.Samples.Rows(), nil
+}
+
 // runShardedLeg re-exec's this binary as a worker for one shard count
 // and parses the JSON result line it prints.
-func runShardedLeg(self, tracePath string, shards int, env []string) (shardedWorkerResult, error) {
+func runShardedLeg(self, tracePath string, shards int, recPath string, env []string) (shardedWorkerResult, error) {
 	cmd := exec.Command(self,
-		"-sharded-worker", tracePath, "-sharded-worker-shards", fmt.Sprint(shards))
+		"-sharded-worker", tracePath, "-sharded-worker-shards", fmt.Sprint(shards),
+		"-sharded-worker-record", recPath)
 	cmd.Env = append(os.Environ(), env...)
 	var stdout bytes.Buffer
 	cmd.Stdout = &stdout
@@ -178,16 +202,26 @@ func runShardedLeg(self, tracePath string, shards int, env []string) (shardedWor
 // runShardedWorker is the child side of one shard leg: it streams the
 // trace through a parallel sharded engine and prints one JSON result
 // line on stdout.
-func runShardedWorker(path string, shards int) error {
+func runShardedWorker(path string, shards int, recPath string) error {
 	rt, err := workload.OpenStreamed(path)
 	if err != nil {
 		return err
 	}
-	eng, err := shard.New(shard.Config{
+	cfg := shard.Config{
 		Shards:   shards,
 		Parallel: true,
 		Sim:      sim.DefaultConfig(core.NameUpdatedPointer),
-	})
+	}
+	var rec *record.Recorder
+	if recPath != "" {
+		rec = record.NewRecorder()
+		cfg.Record = func(i int) sim.RunRecorder {
+			m := record.MetaFromLabel("benchrun/sharded/"+core.NameUpdatedPointer, core.NameUpdatedPointer)
+			m.Shard = int64(i)
+			return rec.NewRun(m)
+		}
+	}
+	eng, err := shard.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -197,6 +231,11 @@ func runShardedWorker(path string, shards int) error {
 		return err
 	}
 	wall := time.Since(start)
+	if rec != nil {
+		if err := rec.WriteFile(recPath); err != nil {
+			return err
+		}
+	}
 	return json.NewEncoder(os.Stdout).Encode(shardedWorkerResult{
 		Shards:          res.Shards,
 		Events:          res.Events,

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	experiments [-seeds N] [-workers N] [-outdir DIR]
-//	            [-tables] [-table5] [-fig45] [-fig6]
+//	            [-tables] [-table5] [-fig45] [-fig6] [-record FILE|none]
 //	            [-tracecache MB] [-cpuprofile FILE] [-memprofile FILE]
 //	experiments -selfcheck [-short]
 //
@@ -13,6 +13,11 @@
 // through one scheduler worker pool sharing one workload-trace cache, so
 // a trace is generated once no matter how many policies replay it.
 // Tables go to stdout; figure CSVs go to outdir (default "results").
+//
+// Every suite run also writes a structured run recording — one row per
+// run, GC activation, and time-series sample — to -record (default
+// <outdir>/experiments.odbgcrec; "none" disables). Query it, or
+// regenerate the figure CSVs from it bit-identically, with odbgc-query.
 //
 // -selfcheck runs the differential validation harness instead of the
 // suite: small audited runs of every policy, replayed through the slow
@@ -32,6 +37,7 @@ import (
 
 	"odbgc/internal/check"
 	"odbgc/internal/experiments"
+	"odbgc/internal/record"
 	"odbgc/internal/stats"
 )
 
@@ -60,6 +66,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		abl        = fs.Bool("ablations", false, "run extension ablations at full scale (extension)")
 		selfcheck  = fs.Bool("selfcheck", false, "run the differential self-check harness instead of the suite")
 		short      = fs.Bool("short", false, "with -selfcheck: smaller workload and fewer seeds")
+		recordPath = fs.String("record", "", "structured run recording file (default <outdir>/experiments.odbgcrec; \"none\" disables)")
 		quiet      = fs.Bool("q", false, "suppress progress output")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -120,10 +127,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 	} else {
 		opts.TraceCacheBytes = *cacheMB << 20
 	}
+	// Recording is on by default: every suite run leaves a queryable
+	// .odbgcrec next to its figure CSVs.
+	if *recordPath == "" {
+		*recordPath = filepath.Join(*outdir, "experiments.odbgcrec")
+	}
+	if *recordPath == "none" {
+		*recordPath = ""
+	} else {
+		opts.Record = record.NewRecorder()
+	}
 
 	res, err := experiments.RunSuite(opts, progress)
 	if err != nil {
 		return err
+	}
+	if opts.Record != nil {
+		if err := opts.Record.WriteFile(*recordPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "Run recording -> %s (%d runs; query with odbgc-query)\n", *recordPath, opts.Record.Runs())
 	}
 	if !*quiet && opts.TraceCacheBytes > 0 {
 		c := res.Cache

@@ -5,13 +5,16 @@
 //	gcsim [-policy NAME] [-seeds N] [-live BYTES] [-alloc BYTES]
 //	      [-partition-pages N] [-buffer-pages N] [-trigger N]
 //	      [-dense F] [-cross F] [-trees N] [-series FILE] [-audit]
-//	      [-trace FILE] [-format auto|binary|jsonl|chunked]
+//	      [-record FILE] [-trace FILE] [-format auto|binary|jsonl|chunked]
 //	      [-shards N] [-shard-assign roundrobin|range] [-epoch-events N]
 //
 // With -seeds > 1 it reports mean ± stddev over seeded runs; with -series
 // it additionally writes the single-run time series as CSV. -audit runs
 // the full cross-structure invariant catalog (internal/check) after every
-// collection — orders of magnitude slower, for validation runs.
+// collection — orders of magnitude slower, for validation runs. -record
+// writes a structured run recording (one row per GC activation and
+// time-series sample; sharded replays tag rows with their shard and
+// epoch) for offline analysis with odbgc-query.
 //
 // With -trace the simulation replays a tracegen file instead of running
 // the generator live. The format is detected from the file's leading
@@ -37,6 +40,7 @@ import (
 
 	"odbgc/internal/check"
 	"odbgc/internal/core"
+	"odbgc/internal/record"
 	"odbgc/internal/shard"
 	"odbgc/internal/sim"
 	"odbgc/internal/stats"
@@ -68,6 +72,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cross     = fs.Float64("cross", 0, "fraction of dense edges that target another tree")
 		trees     = fs.Int("trees", 0, "mean nodes per tree (0 = default)")
 		series    = fs.String("series", "", "write single-run time series CSV to this file")
+		recPath   = fs.String("record", "", "write a structured run recording (.odbgcrec, see odbgc-query) to this file")
 		inspect   = fs.Bool("inspect", false, "print per-partition occupancy at end of a single run")
 		warm      = fs.Bool("warm", false, "warm start: exclude the build phase from measurement")
 		audit     = fs.Bool("audit", false, "run the full invariant audit after every collection (slow)")
@@ -113,6 +118,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("-epoch-events only applies with -shards")
 	case *epochEv < 0:
 		return fmt.Errorf("-epoch-events %d: epoch length cannot be negative", *epochEv)
+	case *recPath != "" && *seeds > 1:
+		return fmt.Errorf("-record records one run; it does not apply with -seeds %d (record seeds individually, or use the experiments command)", *seeds)
+	case *recPath != "" && *policy == "all":
+		return fmt.Errorf("-record records one run; it does not apply with -policy all")
 	}
 
 	if *traceFile != "" {
@@ -149,9 +158,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 			if err != nil {
 				return fmt.Errorf("-shard-assign: %w", err)
 			}
-			return replaySharded(stdout, *traceFile, *format, *policy, *partPages, *bufPages, *trigger, *shards, assign, *epochEv)
+			return replaySharded(stdout, *traceFile, *format, *policy, *partPages, *bufPages, *trigger, *shards, assign, *epochEv, *recPath)
 		}
-		return replayTrace(stdout, *traceFile, *format, *policy, *partPages, *bufPages, *trigger, *series, *inspect, *audit)
+		return replayTrace(stdout, *traceFile, *format, *policy, *partPages, *bufPages, *trigger, *series, *inspect, *audit, *recPath)
 	}
 
 	wl := workload.DefaultConfig()
@@ -192,6 +201,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *seeds <= 1 {
+		rec, recRun := newRunRecording(&cfg, *recPath)
 		s, err := sim.New(cfg)
 		if err != nil {
 			return err
@@ -216,6 +226,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		printResult(stdout, res, wlStats)
 		if *series != "" {
 			if err := writeSeries(stdout, res, *series); err != nil {
+				return err
+			}
+		}
+		if rec != nil {
+			recRun.Finish(res)
+			if err := writeRecording(stdout, rec, *recPath); err != nil {
 				return err
 			}
 		}
@@ -245,7 +261,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 // generator. The file's format is detected from its magic bytes; a
 // non-auto -format that disagrees with the detection is an error naming
 // both, so a flag never causes a file to be mis-decoded.
-func replayTrace(stdout io.Writer, path, expectFormat, policy string, partPages, bufPages int, trigger int64, series string, inspect, audit bool) error {
+func replayTrace(stdout io.Writer, path, expectFormat, policy string, partPages, bufPages int, trigger int64, series string, inspect, audit bool, recPath string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -276,6 +292,7 @@ func replayTrace(stdout io.Writer, path, expectFormat, policy string, partPages,
 	if audit {
 		cfg.Audit = check.Audited(1, 0)
 	}
+	rec, recRun := newRunRecording(&cfg, recPath)
 	s, err := sim.New(cfg)
 	if err != nil {
 		return err
@@ -317,6 +334,34 @@ func replayTrace(stdout io.Writer, path, expectFormat, policy string, partPages,
 			return err
 		}
 	}
+	if rec != nil {
+		recRun.Finish(res)
+		if err := writeRecording(stdout, rec, recPath); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// newRunRecording wires a single-run recorder's hooks into cfg when a
+// -record path was given; the caller finishes the returned run with the
+// simulation's result and persists via writeRecording.
+func newRunRecording(cfg *sim.Config, recPath string) (*record.Recorder, *record.Run) {
+	if recPath == "" {
+		return nil, nil
+	}
+	rec := record.NewRecorder()
+	run := rec.NewRun(record.MetaFromLabel("gcsim/"+cfg.Policy, cfg.Policy))
+	cfg.Record = run.Hooks()
+	return rec, run
+}
+
+// writeRecording persists a recording and reports where it went.
+func writeRecording(stdout io.Writer, rec *record.Recorder, path string) error {
+	if err := rec.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "recording ->", path)
 	return nil
 }
 

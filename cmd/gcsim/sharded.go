@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 
+	"odbgc/internal/record"
 	"odbgc/internal/shard"
 	"odbgc/internal/sim"
 	"odbgc/internal/stats"
@@ -18,7 +19,7 @@ import (
 // running a private simulator, with cross-shard references exchanged at
 // epoch barriers. Chunked traces stream through the prefetch pipeline;
 // binary and JSONL traces are decoded on the fly.
-func replaySharded(stdout io.Writer, path, expectFormat, policy string, partPages, bufPages int, trigger int64, shards int, assign shard.Assignment, epochEvents int64) error {
+func replaySharded(stdout io.Writer, path, expectFormat, policy string, partPages, bufPages int, trigger int64, shards int, assign shard.Assignment, epochEvents int64, recPath string) error {
 	detected, err := sniffFile(path, expectFormat)
 	if err != nil {
 		return err
@@ -34,13 +35,26 @@ func replaySharded(stdout io.Writer, path, expectFormat, policy string, partPage
 		cfg.TriggerOverwrites = trigger
 	}
 
-	eng, err := shard.New(shard.Config{
+	shCfg := shard.Config{
 		Shards:      shards,
 		Assignment:  assign,
 		EpochEvents: epochEvents,
 		Parallel:    true,
 		Sim:         cfg,
-	})
+	}
+	var rec *record.Recorder
+	if recPath != "" {
+		// One record stream per shard, tagged with the shard ID; the
+		// engine stamps every row with its epoch, so the merged file is
+		// deterministic across serial and parallel runs.
+		rec = record.NewRecorder()
+		shCfg.Record = func(i int) sim.RunRecorder {
+			m := record.MetaFromLabel("gcsim/"+policy, policy)
+			m.Shard = int64(i)
+			return rec.NewRun(m)
+		}
+	}
+	eng, err := shard.New(shCfg)
 	if err != nil {
 		return err
 	}
@@ -80,6 +94,11 @@ func replaySharded(stdout io.Writer, path, expectFormat, policy string, partPage
 		return err
 	}
 	printShardedResult(stdout, res)
+	if rec != nil {
+		if err := writeRecording(stdout, rec, recPath); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -27,6 +27,7 @@ package main
 import (
 	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/build"
@@ -35,7 +36,6 @@ import (
 	"go/token"
 	"go/types"
 	"io"
-	"log"
 	"os"
 	"strings"
 
@@ -63,60 +63,76 @@ type vetConfig struct {
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("odbgc-vet: ")
+	findings, err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odbgc-vet:", err)
+		os.Exit(2)
+	}
+	if findings {
+		os.Exit(1)
+	}
+}
 
-	args := os.Args[1:]
+// run dispatches the three vet-tool protocol modes. It reports findings
+// (diagnostics or analyzer failures, already printed to stderr)
+// separately from driver errors, so main can exit 1 for the former and
+// 2 for the latter.
+func run(args []string, stdout, stderr io.Writer) (findings bool, err error) {
 	if len(args) == 1 {
 		switch {
 		case args[0] == "-V=full" || args[0] == "--V=full":
-			printVersion()
-			return
+			return false, printVersion(stdout)
 		case args[0] == "-flags" || args[0] == "--flags":
 			// No tool-specific flags; tell the go command so.
-			fmt.Println("[]")
-			return
+			fmt.Fprintln(stdout, "[]")
+			return false, nil
 		}
 	}
 	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
-		log.Fatalf("usage: odbgc-vet unit.cfg (normally invoked via go vet -vettool=odbgc-vet)")
+		return false, errors.New("usage: odbgc-vet unit.cfg (normally invoked via go vet -vettool=odbgc-vet)")
 	}
-	os.Exit(run(args[0]))
+	return runUnit(args[0], stderr)
 }
 
 // printVersion implements -V=full: cmd/go requires a line of the form
 // "<name> version devel ... buildID=<content hash>" and uses the hash
 // as the tool's cache key, so analyzer changes invalidate cached vet
 // results.
-func printVersion() {
+func printVersion(stdout io.Writer) error {
 	exe, err := os.Executable()
 	if err != nil {
-		log.Fatal(err)
+		return fmt.Errorf("-V=full: locating own binary: %w", err)
 	}
 	f, err := os.Open(exe)
 	if err != nil {
-		log.Fatal(err)
+		return fmt.Errorf("-V=full: %w", err)
 	}
 	defer f.Close()
 	h := sha256.New()
 	if _, err := io.Copy(h, f); err != nil {
-		log.Fatal(err)
+		return fmt.Errorf("-V=full: hashing %s: %w", exe, err)
 	}
-	fmt.Printf("odbgc-vet version devel analyzers buildID=%x\n", h.Sum(nil))
+	fmt.Fprintf(stdout, "odbgc-vet version devel analyzers buildID=%x\n", h.Sum(nil))
+	return nil
 }
 
-func run(cfgFile string) int {
+// runUnit analyzes one compilation unit. Driver failures come back as
+// errors naming the offending cfg file or package; diagnostics and
+// analyzer failures go to stderr and are reported as findings.
+func runUnit(cfgFile string, stderr io.Writer) (bool, error) {
 	cfg, err := readConfig(cfgFile)
 	if err != nil {
-		log.Fatal(err)
+		return false, fmt.Errorf("%s: %w", cfgFile, err)
 	}
 
 	// The suite has no inter-package facts, so dependency-only runs
 	// have nothing to compute; still record an (empty) facts file so
 	// the build cache has something to save.
-	writeVetx(cfg)
+	if err := writeVetx(cfg); err != nil {
+		return false, fmt.Errorf("%s: %w", cfg.ImportPath, err)
+	}
 	if cfg.VetxOnly {
-		return 0
+		return false, nil
 	}
 
 	fset := token.NewFileSet()
@@ -125,9 +141,9 @@ func run(cfgFile string) int {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return 0 // the compiler will report it
+				return false, nil // the compiler will report it
 			}
-			log.Fatal(err)
+			return false, fmt.Errorf("parsing %s: %w", cfg.ImportPath, err)
 		}
 		files = append(files, f)
 	}
@@ -148,12 +164,12 @@ func run(cfgFile string) int {
 	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return 0
+			return false, nil
 		}
-		log.Fatal(err)
+		return false, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
 	}
 
-	exit := 0
+	findings := false
 	for _, a := range analysis.All() {
 		pass := &analysis.Pass{
 			Analyzer:  a,
@@ -163,15 +179,17 @@ func run(cfgFile string) int {
 			TypesInfo: info,
 		}
 		pass.Report = func(d analysis.Diagnostic) {
-			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), a.Name, d.Message)
-			exit = 1
+			fmt.Fprintf(stderr, "%s: %s: %s\n", fset.Position(d.Pos), a.Name, d.Message)
+			findings = true
 		}
 		if err := a.Run(pass); err != nil {
-			log.Printf("analyzer %s failed on %s: %v", a.Name, cfg.ImportPath, err)
-			exit = 1
+			// An analyzer crash still fails the vet run, but the
+			// remaining analyzers get their chance to report first.
+			fmt.Fprintf(stderr, "odbgc-vet: analyzer %s failed on %s: %v\n", a.Name, cfg.ImportPath, err)
+			findings = true
 		}
 	}
-	return exit
+	return findings, nil
 }
 
 func readConfig(name string) (*vetConfig, error) {
@@ -219,11 +237,12 @@ func (f importerFunc) Import(path string) (*types.Package, error) { return f(pat
 
 // writeVetx records the tool's (empty) fact output where the go command
 // asked for it; absence would defeat caching of the vet action.
-func writeVetx(cfg *vetConfig) {
+func writeVetx(cfg *vetConfig) error {
 	if cfg.VetxOutput == "" {
-		return
+		return nil
 	}
 	if err := os.WriteFile(cfg.VetxOutput, []byte("odbgc-vet: no facts\n"), 0o666); err != nil {
-		log.Fatal(err)
+		return fmt.Errorf("writing facts file: %w", err)
 	}
+	return nil
 }

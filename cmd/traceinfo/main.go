@@ -272,9 +272,8 @@ func showChunks(stdout io.Writer, f *os.File, path string, lo, hi int) error {
 				if n == lo {
 					return fmt.Errorf("-chunk %d: %s has only %d chunks", lo, path, n)
 				}
-				// A range may run past the last chunk; the chunks that
-				// exist were already printed.
-				return nil
+				return fmt.Errorf("-chunk %d-%d: range runs past the last chunk; %s has only %d chunks (chunks %d-%d shown above)",
+					lo, hi, path, n, lo, n-1)
 			}
 			return err
 		}
@@ -349,8 +348,11 @@ func showShardHistogram(stdout io.Writer, f *os.File, path string, shards int, a
 			rows = append(rows, histRow{index: chunks, events: c.Len(), byShard: byShard})
 		}
 	}
-	if lo >= chunks {
+	switch {
+	case lo >= chunks:
 		return fmt.Errorf("-chunk %d: %s has only %d chunks", lo, path, chunks)
+	case lo >= 0 && hi >= chunks:
+		return fmt.Errorf("-chunk %d-%d: range runs past the last chunk; %s has only %d chunks", lo, hi, path, chunks)
 	}
 
 	cols := []string{"Chunk", "Events"}

@@ -170,6 +170,36 @@ func TestChunkFlagErrors(t *testing.T) {
 	}
 }
 
+// TestChunkRangeBoundsErrors covers the -chunk LO-HI edge cases: a
+// reversed range, and ranges that start before but run past the last
+// chunk — for both the drill-down and the -shards histogram, which share
+// the parsed range but walk the file differently.
+func TestChunkRangeBoundsErrors(t *testing.T) {
+	chunked := writeTinyChunkedTrace(t)
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"reversed", []string{"-chunk", "3-1", chunked}, "-chunk \"3-1\""},
+		{"range past end", []string{"-chunk", "0-100000", chunked}, "runs past the last chunk"},
+		{"range past end names flag", []string{"-chunk", "1-100000", chunked}, "-chunk 1-100000"},
+		{"histogram lo past end", []string{"-shards", "2", "-chunk", "100000", chunked}, "only"},
+		{"histogram hi past end", []string{"-shards", "2", "-chunk", "0-100000", chunked}, "-chunk 0-100000"},
+	}
+	for _, tc := range cases {
+		var stdout, stderr bytes.Buffer
+		err := run(tc.args, &stdout, &stderr)
+		if err == nil {
+			t.Errorf("%s: run(%v) succeeded, want error containing %q", tc.name, tc.args, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
 // TestCorruptChunkNamed checks traceinfo surfaces a CRC failure naming
 // the damaged chunk.
 func TestCorruptChunkNamed(t *testing.T) {
@@ -225,13 +255,15 @@ func TestChunkRangeDrillDown(t *testing.T) {
 		t.Errorf("-chunk 1 table not reproduced inside the -chunk 0-2 output:\n%s", single.String())
 	}
 
-	// A range running past the last chunk prints what exists.
+	// A range running past the last chunk prints what exists, then
+	// errors so the truncation cannot pass silently.
 	stdout.Reset()
-	if err := run([]string{"-chunk", "1-100000", path}, &stdout, &stderr); err != nil {
-		t.Fatalf("-chunk 1-100000: %v", err)
+	err := run([]string{"-chunk", "1-100000", path}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "runs past the last chunk") {
+		t.Errorf("-chunk 1-100000: err = %v, want range-past-end error", err)
 	}
 	if !strings.Contains(stdout.String(), "Chunk 1 of") {
-		t.Errorf("open-ended range printed nothing:\n%s", stdout.String())
+		t.Errorf("over-long range printed nothing before erroring:\n%s", stdout.String())
 	}
 
 	// Malformed specs are named.

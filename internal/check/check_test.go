@@ -146,6 +146,42 @@ func TestAuditOffZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestRecordOffZeroAllocs proves the structured-recording hooks cost
+// nothing when disabled: with Config.Record left zero, steady-state
+// events through the hook-guarded trigger paths must not allocate. The
+// same //odbgc:hotpath annotation on Sim.Emit covers this wiring.
+//
+//odbgc:allocguard sim.Sim.Emit
+func TestRecordOffZeroAllocs(t *testing.T) {
+	cfg := testSim(core.NameUpdatedPointer)
+	if cfg.Record.Activation != nil || cfg.Record.Sample != nil {
+		t.Fatal("test premise broken: default config has recording hooks set")
+	}
+	s := runInto(t, cfg, testWorkload())
+	var oid heap.OID
+	s.Heap().Roots(func(o heap.OID) {
+		if oid == heap.NilOID {
+			oid = o
+		}
+	})
+	if oid == heap.NilOID {
+		t.Fatal("no root object")
+	}
+	read := trace.Event{Kind: trace.KindRead, OID: oid}
+	modify := trace.Event{Kind: trace.KindModify, OID: oid}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := s.Emit(read); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Emit(modify); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Emit with recording off allocates %v times per read+modify pair, want 0", allocs)
+	}
+}
+
 func TestDiffResults(t *testing.T) {
 	a := sim.Result{Policy: "P", Events: 100, Collections: 12, AppIOs: 7}
 	if err := check.DiffResults("left", "right", a, a); err != nil {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"odbgc/internal/record"
 	"odbgc/internal/sim"
 	"odbgc/internal/stats"
 	"odbgc/internal/workload"
@@ -20,6 +21,10 @@ type SuiteOptions struct {
 	// workload.DefaultTraceCacheBytes, a negative value disables the
 	// cache entirely (every job regenerates its workload).
 	TraceCacheBytes int64
+	// Record, when non-nil, receives one structured run recording per
+	// job (numbered in submission order; see record.Recorder). The
+	// caller persists it after the suite returns.
+	Record *record.Recorder
 
 	Tables      bool
 	Table5      bool
@@ -103,6 +108,11 @@ func runSuite(opts SuiteOptions, cfgs suiteConfigs, progress Progress) (*SuiteRe
 	progress = progress.Sync()
 	s := newScheduler(opts.Workers, cache, progress)
 	defer s.Close()
+	if rec := opts.Record; rec != nil {
+		s.SetRecordFactory(func(j sim.Job) sim.RunRecorder {
+			return rec.NewRun(record.MetaFromLabel(j.Label, j.Sim.Policy))
+		})
+	}
 
 	// Submission order groups the families that replay the base-workload
 	// traces (tables, sensitivity, ablations) so each seed's trace is

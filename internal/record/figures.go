@@ -1,0 +1,192 @@
+package record
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"odbgc/internal/stats"
+)
+
+// Figure regeneration: rebuild the Figure 4–6 series from a recording
+// alone, bit-identically to cmd/experiments' direct emission. The rows
+// carry raw int64 bytes, the series math below repeats the simulator's
+// float64(x)/1024 conversions in the same order, and the CSV rendering
+// reuses stats.Series.WriteCSV — so equality holds by construction, and
+// the CI smoke diffs the two outputs to keep it that way.
+
+// runInfo is one run's identity row.
+type runInfo struct {
+	id     int64
+	policy string
+	point  int64
+}
+
+// familyRuns returns the runs of one family in run-ID (submission)
+// order.
+func (f *File) familyRuns(family string) []runInfo {
+	var out []runInfo
+	ids := f.Runs.Col("run")
+	fams := f.Runs.Col("family")
+	pols := f.Runs.Col("policy")
+	points := f.Runs.Col("point")
+	for i := 0; i < f.Runs.Rows(); i++ {
+		if fams.S[i] == family {
+			out = append(out, runInfo{id: ids.I[i], policy: pols.S[i], point: points.I[i]})
+		}
+	}
+	return out
+}
+
+// samplesOf returns the sample row indices of one run, in file (seq)
+// order.
+func (f *File) samplesOf(run int64) []int {
+	var out []int
+	ids := f.Samples.Col("run")
+	for i, id := range ids.I {
+		if id == run {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// FigureSeries45 regenerates the Figure 4 (unreclaimed garbage KB) and
+// Figure 5 (database size KB) series from the recording's "fig45" runs,
+// mirroring experiments.Figures45: one column per policy in run order,
+// truncated to the shortest sample count.
+func (f *File) FigureSeries45() (garbage, dbsize *stats.Series, err error) {
+	runs := f.familyRuns("fig45")
+	if len(runs) == 0 {
+		return nil, nil, fmt.Errorf("record: no fig45 runs in recording")
+	}
+	policies := make([]string, len(runs))
+	rows := make([][]int, len(runs))
+	n := 0
+	for i, r := range runs {
+		policies[i] = r.policy
+		rows[i] = f.samplesOf(r.id)
+		if len(rows[i]) == 0 {
+			return nil, nil, fmt.Errorf("record: fig45 run %s recorded no samples", r.policy)
+		}
+		if n == 0 || len(rows[i]) < n {
+			n = len(rows[i])
+		}
+	}
+	occ := f.Samples.Col("occupied_bytes")
+	live := f.Samples.Col("live_bytes")
+	events := f.Samples.Col("events")
+	garbage = stats.NewSeries("events", policies...)
+	dbsize = stats.NewSeries("events", policies...)
+	for i := 0; i < n; i++ {
+		gs := make([]float64, len(runs))
+		ds := make([]float64, len(runs))
+		for p := range runs {
+			row := rows[p][i]
+			gs[p] = float64(occ.I[row]-live.I[row]) / 1024
+			ds[p] = float64(occ.I[row]) / 1024
+		}
+		x := events.I[rows[0][i]]
+		garbage.Add(x, gs...)
+		dbsize.Add(x, ds...)
+	}
+	return garbage, dbsize, nil
+}
+
+// FigureSeries6 regenerates the Figure 6 series (storage required MB vs
+// maximum allocated MB) from the recording's "fig6" runs, mirroring
+// experiments.Figure6Result.Series: points and policies in first-seen
+// run order, each cell the seed-mean of max_occupied_bytes.
+func (f *File) FigureSeries6() (*stats.Series, error) {
+	runs := f.familyRuns("fig6")
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("record: no fig6 runs in recording")
+	}
+	var points []int64
+	var policies []string
+	cells := make(map[[2]string][]float64) // (point, policy) -> per-seed max occupied KB
+	maxOcc := f.Runs.Col("max_occupied_bytes")
+	ids := f.Runs.Col("run")
+	rowOf := make(map[int64]int, f.Runs.Rows())
+	for i, id := range ids.I {
+		rowOf[id] = i
+	}
+	seenPoint := make(map[int64]bool)
+	seenPolicy := make(map[string]bool)
+	for _, r := range runs {
+		if !seenPoint[r.point] {
+			seenPoint[r.point] = true
+			points = append(points, r.point)
+		}
+		if !seenPolicy[r.policy] {
+			seenPolicy[r.policy] = true
+			policies = append(policies, r.policy)
+		}
+		key := [2]string{fmt.Sprint(r.point), r.policy}
+		cells[key] = append(cells[key], float64(maxOcc.I[rowOf[r.id]])/1024)
+	}
+	s := stats.NewSeries("max_allocated_mb", policies...)
+	for _, p := range points {
+		ys := make([]float64, len(policies))
+		for qi, policy := range policies {
+			xs := cells[[2]string{fmt.Sprint(p), policy}]
+			if len(xs) == 0 {
+				return nil, fmt.Errorf("record: fig6 has no runs for point %d policy %s", p, policy)
+			}
+			ys[qi] = stats.Summarize(xs).Mean / 1024
+		}
+		s.Add(p, ys...)
+	}
+	return s, nil
+}
+
+// WriteFigureCSVs regenerates the figure CSV files cmd/experiments
+// emits — figure4_unreclaimed_garbage.csv and figure5_database_size.csv
+// from the fig45 samples, figure6_storage_required.csv from the fig6
+// runs — into dir, writing whichever families the recording contains.
+// It returns the paths written, and errors when the recording contains
+// neither family.
+func (f *File) WriteFigureCSVs(dir string) ([]string, error) {
+	var written []string
+	writeCSV := func(name string, s *stats.Series) error {
+		path := filepath.Join(dir, name)
+		file, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := s.WriteCSV(file); err != nil {
+			file.Close()
+			return err
+		}
+		if err := file.Close(); err != nil {
+			return err
+		}
+		written = append(written, path)
+		return nil
+	}
+	if len(f.familyRuns("fig45")) > 0 {
+		garbage, dbsize, err := f.FigureSeries45()
+		if err != nil {
+			return written, err
+		}
+		if err := writeCSV("figure4_unreclaimed_garbage.csv", garbage); err != nil {
+			return written, err
+		}
+		if err := writeCSV("figure5_database_size.csv", dbsize); err != nil {
+			return written, err
+		}
+	}
+	if len(f.familyRuns("fig6")) > 0 {
+		s, err := f.FigureSeries6()
+		if err != nil {
+			return written, err
+		}
+		if err := writeCSV("figure6_storage_required.csv", s); err != nil {
+			return written, err
+		}
+	}
+	if len(written) == 0 {
+		return nil, fmt.Errorf("record: recording has no fig45 or fig6 runs to regenerate figures from")
+	}
+	return written, nil
+}

@@ -1,0 +1,294 @@
+package record
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// The query layer is deliberately small: equality filters, group-by,
+// and the five aggregates that cover the paper's reporting (count, sum,
+// mean, min, max). Activations and samples are implicitly joined to
+// their run's identity columns (label, family, policy, point, seed), so
+// "-where policy=UpdatedPointer -group partition -agg sum:garbage_bytes"
+// works directly on the activations table.
+
+// Cond is one equality filter: the row's rendered column value must
+// equal Val.
+type Cond struct {
+	Col string
+	Val string
+}
+
+// Agg is one aggregate: Op is count, sum, mean, min, or max; Col is the
+// numeric column it reduces (ignored for count).
+type Agg struct {
+	Op  string
+	Col string
+}
+
+// Query selects, filters, groups, and aggregates one table.
+type Query struct {
+	// Table is runs, activations, or samples (default activations).
+	Table string
+	// Where conjoins equality filters.
+	Where []Cond
+	// GroupBy names the grouping columns; empty with Aggs set means one
+	// global group.
+	GroupBy []string
+	// Aggs are the aggregates to compute; empty means plain row listing.
+	Aggs []Agg
+	// Limit caps the output rows (0 = unlimited).
+	Limit int
+}
+
+// ResultSet is a rendered query result: column headers plus rows of
+// string cells, ready for table or CSV output.
+type ResultSet struct {
+	Cols []string
+	Rows [][]string
+}
+
+// viewCol is one queryable column of a view: either a table column or a
+// run-identity column joined through the run ID.
+type viewCol struct {
+	col     *Column
+	viaRun  bool
+	runRows []int // row index into runs per view row, when viaRun
+}
+
+func (v *viewCol) value(i int) string {
+	if v.viaRun {
+		return v.col.Value(v.runRows[i])
+	}
+	return v.col.Value(i)
+}
+
+func (v *viewCol) numeric(i int) (int64, bool) {
+	if v.col.Str {
+		return 0, false
+	}
+	if v.viaRun {
+		return v.col.I[v.runRows[i]], true
+	}
+	return v.col.I[i], true
+}
+
+// view is one table plus its joined run-identity columns.
+type view struct {
+	rows  int
+	names []string
+	cols  map[string]*viewCol
+}
+
+// runJoinCols are the runs-table columns joined onto activations and
+// samples.
+var runJoinCols = []string{"label", "family", "policy", "point", "seed"}
+
+func (f *File) newView(table string) (*view, error) {
+	t, err := f.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	v := &view{rows: t.Rows(), cols: make(map[string]*viewCol)}
+	for i := range t.Cols {
+		c := &t.Cols[i]
+		v.names = append(v.names, c.Name)
+		v.cols[c.Name] = &viewCol{col: c}
+	}
+	if t == &f.Runs {
+		return v, nil
+	}
+	// Join run-identity columns through the run ID.
+	runIdx := make(map[int64]int, f.Runs.Rows())
+	runIDs := f.Runs.Col("run")
+	for i, id := range runIDs.I {
+		runIdx[id] = i
+	}
+	rowRun := t.Col("run")
+	runRows := make([]int, t.Rows())
+	for i, id := range rowRun.I {
+		ri, ok := runIdx[id]
+		if !ok {
+			return nil, fmt.Errorf("record: %s row %d references unknown run %d", t.Name, i, id)
+		}
+		runRows[i] = ri
+	}
+	for _, name := range runJoinCols {
+		v.names = append(v.names, name)
+		v.cols[name] = &viewCol{col: f.Runs.Col(name), viaRun: true, runRows: runRows}
+	}
+	return v, nil
+}
+
+// Query runs q against the file.
+func (f *File) Query(q Query) (*ResultSet, error) {
+	table := q.Table
+	if table == "" {
+		table = "activations"
+	}
+	v, err := f.newView(table)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range q.Where {
+		if v.cols[c.Col] == nil {
+			return nil, fmt.Errorf("record: -where %s: no column %q in %s (have %v)", c.Col, c.Col, table, v.names)
+		}
+	}
+	var match []int
+	for i := 0; i < v.rows; i++ {
+		ok := true
+		for _, c := range q.Where {
+			if v.cols[c.Col].value(i) != c.Val {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			match = append(match, i)
+		}
+	}
+	if len(q.Aggs) == 0 && len(q.GroupBy) == 0 {
+		return listRows(v, match, q.Limit), nil
+	}
+	return aggregate(v, match, q, table)
+}
+
+func listRows(v *view, match []int, limit int) *ResultSet {
+	rs := &ResultSet{Cols: v.names}
+	for _, i := range match {
+		if limit > 0 && len(rs.Rows) >= limit {
+			break
+		}
+		row := make([]string, len(v.names))
+		for ci, name := range v.names {
+			row[ci] = v.cols[name].value(i)
+		}
+		rs.Rows = append(rs.Rows, row)
+	}
+	return rs
+}
+
+type aggState struct {
+	count    int64
+	sum      int64
+	min, max int64
+}
+
+func aggregate(v *view, match []int, q Query, table string) (*ResultSet, error) {
+	aggs := q.Aggs
+	if len(aggs) == 0 {
+		aggs = []Agg{{Op: "count"}}
+	}
+	for _, a := range aggs {
+		switch a.Op {
+		case "count":
+		case "sum", "mean", "min", "max":
+			vc := v.cols[a.Col]
+			if vc == nil {
+				return nil, fmt.Errorf("record: -agg %s:%s: no column %q in %s", a.Op, a.Col, a.Col, table)
+			}
+			if vc.col.Str {
+				return nil, fmt.Errorf("record: -agg %s:%s: column %q is a string column", a.Op, a.Col, a.Col)
+			}
+		default:
+			return nil, fmt.Errorf("record: -agg %s: unknown op (want count, sum, mean, min, or max)", a.Op)
+		}
+	}
+	for _, g := range q.GroupBy {
+		if v.cols[g] == nil {
+			return nil, fmt.Errorf("record: -group %s: no column %q in %s (have %v)", g, g, table, v.names)
+		}
+	}
+
+	type group struct {
+		key    []string
+		states []aggState
+	}
+	groups := make(map[string]*group)
+	var order []*group
+	var keyBuf []string
+	for _, i := range match {
+		keyBuf = keyBuf[:0]
+		for _, gcol := range q.GroupBy {
+			keyBuf = append(keyBuf, v.cols[gcol].value(i))
+		}
+		k := fmt.Sprint(keyBuf)
+		g := groups[k]
+		if g == nil {
+			g = &group{key: append([]string(nil), keyBuf...), states: make([]aggState, len(aggs))}
+			groups[k] = g
+			order = append(order, g)
+		}
+		for ai, a := range aggs {
+			st := &g.states[ai]
+			st.count++
+			if a.Op == "count" {
+				continue
+			}
+			x, _ := v.cols[a.Col].numeric(i)
+			st.sum += x
+			if st.count == 1 || x < st.min {
+				st.min = x
+			}
+			if st.count == 1 || x > st.max {
+				st.max = x
+			}
+		}
+	}
+
+	// Deterministic group order: numeric group columns sort numerically,
+	// string columns lexically, leftmost column first.
+	numericKey := make([]bool, len(q.GroupBy))
+	for gi, gcol := range q.GroupBy {
+		numericKey[gi] = !v.cols[gcol].col.Str
+	}
+	sort.Slice(order, func(a, b int) bool {
+		for gi := range q.GroupBy {
+			ka, kb := order[a].key[gi], order[b].key[gi]
+			if ka == kb {
+				continue
+			}
+			if numericKey[gi] {
+				na, _ := strconv.ParseInt(ka, 10, 64)
+				nb, _ := strconv.ParseInt(kb, 10, 64)
+				return na < nb
+			}
+			return ka < kb
+		}
+		return false
+	})
+
+	rs := &ResultSet{Cols: append([]string(nil), q.GroupBy...)}
+	for _, a := range aggs {
+		if a.Op == "count" {
+			rs.Cols = append(rs.Cols, "count")
+		} else {
+			rs.Cols = append(rs.Cols, a.Op+":"+a.Col)
+		}
+	}
+	for _, g := range order {
+		if q.Limit > 0 && len(rs.Rows) >= q.Limit {
+			break
+		}
+		row := append([]string(nil), g.key...)
+		for ai, a := range aggs {
+			st := g.states[ai]
+			switch a.Op {
+			case "count":
+				row = append(row, strconv.FormatInt(st.count, 10))
+			case "sum":
+				row = append(row, strconv.FormatInt(st.sum, 10))
+			case "min":
+				row = append(row, strconv.FormatInt(st.min, 10))
+			case "max":
+				row = append(row, strconv.FormatInt(st.max, 10))
+			case "mean":
+				row = append(row, fmt.Sprintf("%.4f", float64(st.sum)/float64(st.count)))
+			}
+		}
+		rs.Rows = append(rs.Rows, row)
+	}
+	return rs, nil
+}

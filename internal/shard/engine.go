@@ -45,6 +45,12 @@ type shardRunner struct {
 	eng *Engine
 	sim *sim.Sim
 
+	// rec is this shard's run recorder (nil when recording is off);
+	// setEpoch is its epoch-stamping hook, bound once at construction so
+	// the per-batch call allocates nothing.
+	rec      sim.RunRecorder
+	setEpoch func(int64)
+
 	// fout maps a packed local pointer location to the cross-shard
 	// reference it holds; foutCount[src] counts how many of src's fields
 	// appear in fout, so discards skip the probe when zero.
@@ -109,6 +115,17 @@ func New(cfg Config) (*Engine, error) {
 	for i := 0; i < cfg.Shards; i++ {
 		sc := cfg.Sim
 		sc.Seed = cfg.Sim.Seed + int64(i)
+		var rec sim.RunRecorder
+		var setEpoch func(int64)
+		sc.Record = sim.RecordConfig{}
+		if cfg.Record != nil {
+			if rec = cfg.Record(i); rec != nil {
+				sc.Record = rec.Hooks()
+				if es, ok := rec.(interface{ SetEpoch(int64) }); ok {
+					setEpoch = es.SetEpoch
+				}
+			}
+		}
 		s, err := sim.New(sc)
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
@@ -117,6 +134,8 @@ func New(cfg Config) (*Engine, error) {
 			id:        i,
 			eng:       e,
 			sim:       s,
+			rec:       rec,
+			setEpoch:  setEpoch,
 			fout:      make(map[uint64]foreignRef),
 			foutCount: make(map[uint32]int32),
 			xin:       make(map[uint32]int32),
@@ -384,6 +403,9 @@ func (r *shardRunner) exchange(epoch int64) error {
 //
 //odbgc:hotpath
 func (r *shardRunner) drainBatch(b *Batch) error {
+	if r.setEpoch != nil {
+		r.setEpoch(b.Epoch)
+	}
 	fi := 0
 	for i := range b.Events {
 		e := b.Events[i]
@@ -564,6 +586,9 @@ func (e *Engine) finish(d *Demuxer) Result {
 			DeltasReceived:     r.deltasRecv,
 			MessagesSent:       r.msgsSent,
 			ExternalRefs:       len(r.xin),
+		}
+		if r.rec != nil {
+			r.rec.Finish(sr.Result)
 		}
 		res.PerShard = append(res.PerShard, sr)
 		res.AppIOs += sr.Result.AppIOs

@@ -1,0 +1,83 @@
+package shard_test
+
+import (
+	"bytes"
+	"testing"
+
+	"odbgc/internal/core"
+	"odbgc/internal/record"
+	"odbgc/internal/shard"
+	"odbgc/internal/sim"
+)
+
+// recordedRun runs the sharded engine over a test trace with per-shard recording
+// wired through Config.Record and returns the encoded recording.
+func recordedRun(t *testing.T, parallel bool) []byte {
+	t.Helper()
+	rt := testTrace(t, 7)
+	rec := record.NewRecorder()
+	cfg := shard.Config{
+		Shards:      4,
+		EpochEvents: 1 << 12,
+		Parallel:    parallel,
+		Sim:         testSimCfg(core.NameUpdatedPointer),
+		Record: func(i int) sim.RunRecorder {
+			m := record.MetaFromLabel("shardtest/"+core.NameUpdatedPointer, core.NameUpdatedPointer)
+			m.Shard = int64(i)
+			return rec.NewRun(m)
+		},
+	}
+	runSharded(t, cfg, rt)
+	var buf bytes.Buffer
+	if _, err := rec.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestRecordedBytesSerialMatchesParallel extends the engine's
+// determinism contract to the recording layer: the encoded .odbgcrec
+// bytes of a parallel run must equal the serial run's byte for byte —
+// shard-tagged run rows, epoch-stamped activations, and samples alike.
+func TestRecordedBytesSerialMatchesParallel(t *testing.T) {
+	serial := recordedRun(t, false)
+	parallel := recordedRun(t, true)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("recorded bytes diverge between serial (%d bytes) and parallel (%d bytes) runs", len(serial), len(parallel))
+	}
+
+	f, err := record.Read(serial)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if f.Runs.Rows() != 4 {
+		t.Fatalf("recorded %d runs, want one per shard (4)", f.Runs.Rows())
+	}
+	for i := 0; i < f.Runs.Rows(); i++ {
+		if got := f.Runs.Col("shard").I[i]; got != int64(i) {
+			t.Errorf("run %d tagged shard %d, want %d", i, got, i)
+		}
+	}
+	if f.Activations.Rows() == 0 {
+		t.Fatal("no activations recorded")
+	}
+	// Epoch stamps must be present and nondecreasing within each run:
+	// activations are appended in shard-local order and every epoch
+	// barrier advances the stamp.
+	lastEpoch := map[int64]int64{}
+	sawEpoch := false
+	for i := 0; i < f.Activations.Rows(); i++ {
+		run := f.Activations.Col("run").I[i]
+		epoch := f.Activations.Col("epoch").I[i]
+		if epoch > 0 {
+			sawEpoch = true
+		}
+		if epoch < lastEpoch[run] {
+			t.Fatalf("activation %d of run %d: epoch %d after %d", i, run, epoch, lastEpoch[run])
+		}
+		lastEpoch[run] = epoch
+	}
+	if !sawEpoch {
+		t.Error("no activation carries a nonzero epoch stamp; epoch tagging is not wired")
+	}
+}

@@ -121,6 +121,14 @@ type Config struct {
 	// own instance with Seed offset by its shard index (so shard 0 of a
 	// single-shard engine matches an unsharded run exactly).
 	Sim sim.Config
+	// Record, when non-nil, supplies one recorder per shard: shard i's
+	// simulator gets Record(i)'s hooks (a nil return leaves that shard
+	// unrecorded), and its rows are tagged with the epoch in force when
+	// they were produced. Recorders are finished in shard order when the
+	// run completes, so the recorded stream is deterministic in both
+	// serial and parallel mode. Any Sim.Record hooks in the embedded
+	// config are replaced.
+	Record func(shard int) sim.RunRecorder
 }
 
 func (c Config) validate() error {

@@ -39,8 +39,9 @@ type Job struct {
 // Submit and Wait are intended for one orchestrating goroutine; the
 // workers never touch caller state outside the Out slots.
 type Scheduler struct {
-	cache  *workload.TraceCache
-	notify func(done, total int64, label string)
+	cache   *workload.TraceCache
+	notify  func(done, total int64, label string)
+	recordf func(Job) RunRecorder
 
 	jobs    chan queuedJob
 	workers sync.WaitGroup
@@ -57,6 +58,17 @@ type Scheduler struct {
 type queuedJob struct {
 	Job
 	seq int64
+	rec RunRecorder
+}
+
+// RunRecorder receives one job's run recording: Hooks supplies the
+// simulator-side record hooks wired into the job's Config, and Finish is
+// invoked with the run's Result once the simulation completes
+// successfully (a failed job's recorder is never finished).
+// internal/record's Run is the canonical implementation.
+type RunRecorder interface {
+	Hooks() RecordConfig
+	Finish(Result)
 }
 
 // NewScheduler starts a pool of worker goroutines; workers <= 0 means
@@ -87,6 +99,13 @@ func NewScheduler(workers int, cache *workload.TraceCache) *Scheduler {
 // goroutines and must be goroutine-safe (see experiments.Progress.Sync).
 func (s *Scheduler) SetNotify(fn func(done, total int64, label string)) { s.notify = fn }
 
+// SetRecordFactory registers a per-job recorder factory invoked on the
+// submitting goroutine, in submission order — so recorder creation order
+// (and therefore run numbering in a batch recorder) is deterministic no
+// matter how the pool interleaves completions. A nil return from the
+// factory leaves that job unrecorded. Set it before the first Submit.
+func (s *Scheduler) SetRecordFactory(fn func(Job) RunRecorder) { s.recordf = fn }
+
 // Submitted and Completed report queue counters.
 func (s *Scheduler) Submitted() int64 { return s.submitted.Load() }
 func (s *Scheduler) Completed() int64 { return s.completed.Load() }
@@ -99,15 +118,21 @@ func (s *Scheduler) Completed() int64 { return s.completed.Load() }
 func (s *Scheduler) Submit(job Job) {
 	seq := s.submitted.Add(1)
 	s.pending.Add(1)
+	var rec RunRecorder
+	if s.recordf != nil {
+		if rec = s.recordf(job); rec != nil {
+			job.Sim.Record = rec.Hooks()
+		}
+	}
 	if job.Sim.PolicyImpl != nil {
 		c, ok := job.Sim.PolicyImpl.(core.ClonablePolicy)
 		if !ok {
-			s.run(queuedJob{job, seq}) // serial fallback
+			s.run(queuedJob{job, seq, rec}) // serial fallback
 			return
 		}
 		job.Sim.PolicyImpl = c.Clone()
 	}
-	s.jobs <- queuedJob{job, seq}
+	s.jobs <- queuedJob{job, seq, rec}
 }
 
 // SubmitSeeds enqueues the n derived-seed runs of one configuration the
@@ -134,8 +159,13 @@ func (s *Scheduler) run(j queuedJob) {
 			s.err, s.errSeq = fmt.Errorf("sim: job %s: %w", j.Label, err), j.seq
 		}
 		s.mu.Unlock()
-	} else if j.Out != nil {
-		*j.Out = res
+	} else {
+		if j.rec != nil {
+			j.rec.Finish(res)
+		}
+		if j.Out != nil {
+			*j.Out = res
+		}
 	}
 	done := s.completed.Add(1)
 	if s.notify != nil {

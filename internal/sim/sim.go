@@ -95,6 +95,12 @@ type Config struct {
 	// run (internal/check supplies the full catalog). The zero value is
 	// off and adds no cost to the event path beyond one nil check.
 	Audit AuditConfig
+	// Record wires a structured run recorder into the run
+	// (internal/record supplies the batch recorder and on-disk format).
+	// The zero value is off and adds no cost to the event path: the hooks
+	// fire only inside collector activations and time-series samples,
+	// never per event.
+	Record RecordConfig
 }
 
 // AuditConfig configures the invariant-audit cadence of a simulation.
@@ -185,6 +191,10 @@ type Sim struct {
 	// Audit cadence state; untouched when cfg.Audit.Check is nil.
 	activationsSinceAudit int
 	auditDue              bool
+
+	// Record sequence counters; untouched when cfg.Record is zero.
+	activationSeq int64
+	sampleSeq     int64
 
 	// Measurement window baselines, nonzero after ResetMeasurement.
 	occupiedAtReset int64
@@ -313,7 +323,7 @@ func (s *Sim) NoteForeignOverwrite() {
 	if n := s.mut.OverwritesSinceCollection(); n > s.lastOverwrite {
 		s.lastOverwrite = n
 		if s.trig.RecordOverwrite() {
-			s.collect()
+			s.collect(CauseOverwrite)
 		}
 	}
 }
@@ -350,7 +360,7 @@ func (s *Sim) Emit(e trace.Event) error {
 		}
 		s.trackStorage()
 		if s.trig.RecordAllocation(e.Size) {
-			s.collect()
+			s.collect(CauseAllocation)
 		}
 	case trace.KindRoot:
 		if err := s.mut.Root(e.OID); err != nil {
@@ -367,7 +377,7 @@ func (s *Sim) Emit(e trace.Event) error {
 		if n := s.mut.OverwritesSinceCollection(); n > s.lastOverwrite {
 			s.lastOverwrite = n
 			if s.trig.RecordOverwrite() {
-				s.collect()
+				s.collect(CauseOverwrite)
 			}
 		}
 	case trace.KindModify:
@@ -417,15 +427,23 @@ func (s *Sim) Audit() error {
 }
 
 // collect runs one collector activation (possibly multi-partition under
-// the extension) and resets the trigger.
-func (s *Sim) collect() {
+// the extension) and resets the trigger. cause is the trigger that
+// fired, threaded through to the activation records.
+func (s *Sim) collect(cause TriggerCause) {
 	s.mut.DrainBarrier()
 	n := s.cfg.CollectPartitions
 	if n <= 0 {
 		n = 1
 	}
 	for i := 0; i < n; i++ {
+		var before pagebuf.Stats
+		if s.cfg.Record.Activation != nil {
+			before = s.buf.Stats()
+		}
 		res := s.col.Collect()
+		if s.cfg.Record.Activation != nil {
+			s.recordActivation(cause, res, before)
+		}
 		if !res.Collected {
 			break
 		}
@@ -481,16 +499,32 @@ func (s *Sim) trackStorage() {
 	}
 }
 
-// sample appends one time-series row (sizes in KB).
+// sample appends one time-series row (sizes in KB) and, when recording,
+// delivers the same quantities in raw bytes.
 func (s *Sim) sample() {
 	occupied := s.h.OccupiedBytes()
 	live := s.oracle.LiveBytes()
+	footprint := s.h.FootprintBytes()
 	s.series.Add(s.events,
 		float64(occupied)/1024,
 		float64(live)/1024,
 		float64(occupied-live)/1024,
-		float64(s.h.FootprintBytes())/1024,
+		float64(footprint)/1024,
 	)
+	if s.cfg.Record.Sample != nil {
+		s.sampleSeq++
+		bufStats := s.buf.Stats()
+		s.cfg.Record.Sample(SampleRecord{
+			Seq:                 s.sampleSeq,
+			Events:              s.events,
+			OccupiedBytes:       occupied,
+			LiveBytes:           live,
+			FootprintBytes:      footprint,
+			AppIOs:              bufStats.App().IOs(),
+			GCIOs:               bufStats.GC().IOs(),
+			TotalAllocatedBytes: s.h.TotalAllocatedBytes(),
+		})
+	}
 }
 
 // Result is everything the paper reports about one run.

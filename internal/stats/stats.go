@@ -65,19 +65,20 @@ func (s Summary) Ratio(base float64) float64 {
 }
 
 // String formats the summary as "mean ± stddev", or "n/a" when the
-// sample is undefined (NaN mean or deviation).
+// sample is undefined (NaN or infinite mean or deviation).
 func (s Summary) String() string {
-	if math.IsNaN(s.Mean) || math.IsNaN(s.StdDev) {
+	if math.IsNaN(s.Mean) || math.IsNaN(s.StdDev) ||
+		math.IsInf(s.Mean, 0) || math.IsInf(s.StdDev, 0) {
 		return "n/a"
 	}
 	return fmt.Sprintf("%.1f ± %.1f", s.Mean, s.StdDev)
 }
 
 // FormatFloat renders v with prec decimal places for table cells,
-// printing "n/a" instead of "NaN" for undefined values (e.g. a Ratio
-// over a zero base).
+// printing "n/a" instead of "NaN" or "±Inf" for undefined values (e.g.
+// a Ratio over a zero base).
 func FormatFloat(v float64, prec int) string {
-	if math.IsNaN(v) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
 		return "n/a"
 	}
 	return fmt.Sprintf("%.*f", prec, v)

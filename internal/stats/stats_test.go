@@ -167,3 +167,39 @@ func TestNaNRendering(t *testing.T) {
 		t.Errorf("FormatFloat(1.2345, 2) = %q", got)
 	}
 }
+
+func TestInfRendering(t *testing.T) {
+	for _, inf := range []float64{math.Inf(1), math.Inf(-1)} {
+		if got := (Summary{Mean: inf, StdDev: 0}).String(); got != "n/a" {
+			t.Errorf("Summary{Mean: %v}.String() = %q, want n/a", inf, got)
+		}
+		if got := (Summary{Mean: 1, StdDev: inf}).String(); got != "n/a" {
+			t.Errorf("Summary{StdDev: %v}.String() = %q, want n/a", inf, got)
+		}
+		if got := FormatFloat(inf, 2); got != "n/a" {
+			t.Errorf("FormatFloat(%v) = %q, want n/a", inf, got)
+		}
+	}
+}
+
+// Non-finite samples must become empty CSV cells, never literal "NaN" or
+// "+Inf" tokens that break numeric parsers downstream.
+func TestSeriesCSVNonFiniteCells(t *testing.T) {
+	s := NewSeries("events", "a", "b")
+	s.Add(0, math.NaN(), 2.0)
+	s.Add(100, math.Inf(1), math.Inf(-1))
+	s.Add(200, 1.25, 3.0)
+	var b strings.Builder
+	if err := s.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "events,a,b\n0,,2.00\n100,,\n200,1.25,3.00\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+	for _, tok := range []string{"NaN", "Inf"} {
+		if strings.Contains(b.String(), tok) {
+			t.Errorf("CSV leaks literal %q:\n%s", tok, b.String())
+		}
+	}
+}

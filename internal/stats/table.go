@@ -3,6 +3,7 @@ package stats
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
 )
 
@@ -141,7 +142,14 @@ func (s *Series) WriteCSV(w io.Writer) error {
 	for i, x := range s.X {
 		fmt.Fprintf(&b, "%d", x)
 		for _, col := range s.Y {
-			fmt.Fprintf(&b, ",%.2f", col[i])
+			// NaN and ±Inf have no CSV representation most consumers
+			// accept; emit an empty cell (the CSV idiom for "no value")
+			// instead of a literal "NaN" that breaks numeric parsers.
+			if math.IsNaN(col[i]) || math.IsInf(col[i], 0) {
+				b.WriteByte(',')
+			} else {
+				fmt.Fprintf(&b, ",%.2f", col[i])
+			}
 		}
 		b.WriteByte('\n')
 	}
