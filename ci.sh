@@ -14,10 +14,14 @@ if [ -n "$gofmt_dirty" ]; then
 fi
 go vet ./...
 # Project-specific analyzers (determinism, zero-alloc hot paths, arena
-# discipline, exhaustive enum switches) — see DESIGN.md "Static analysis
-# layer" and internal/analysis.
+# discipline, exhaustive enum switches, and the interprocedural
+# hotcall/detflow/barrierproto suite) — see DESIGN.md "Static analysis
+# layer" and internal/analysis. The check driver runs the whole suite
+# over every package, fails on any finding not in the checked-in
+# baseline and on any //odbgc:*-ok suppression that no longer
+# suppresses anything, and leaves a SARIF artifact for CI viewers.
 go build -o bin/odbgc-vet ./cmd/odbgc-vet
-go vet -vettool="$(pwd)/bin/odbgc-vet" ./...
+bin/odbgc-vet check -stale -baseline .odbgc-vet-baseline.json -sarif bin/odbgc-vet.sarif ./...
 go build ./...
 go test ./...
 go test -race ./internal/sim ./internal/gc ./internal/shard

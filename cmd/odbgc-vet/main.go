@@ -1,11 +1,17 @@
 // odbgc-vet is the repository's custom vet tool: it drives the
 // internal/analysis suite (detmap, simclock, hotalloc, arenaindex,
-// kindswitch) through the `go vet -vettool` protocol.
+// kindswitch, and the interprocedural hotcall, detflow, barrierproto)
+// through the `go vet -vettool` protocol.
 //
 // Build and run it locally with:
 //
 //	go build -o bin/odbgc-vet ./cmd/odbgc-vet
 //	go vet -vettool="$(pwd)/bin/odbgc-vet" ./...
+//
+// or let the tool drive go vet itself, adding SARIF output, baseline
+// diffing, and stale-suppression detection:
+//
+//	bin/odbgc-vet check -stale -baseline .odbgc-vet-baseline.json ./...
 //
 // The protocol (the contract go's cmd/go expects from a vet tool, the
 // same one golang.org/x/tools/go/analysis/unitchecker implements) is:
@@ -22,6 +28,13 @@
 // exiting nonzero if there were any. The module deliberately has no
 // dependencies, so the driver speaks the protocol itself instead of
 // importing unitchecker.
+//
+// Cross-package facts ride the same protocol: each unit's function
+// summaries are serialized as JSON into the VetxOutput file the go
+// command names, and a dependent unit finds its dependencies' fact
+// files in PackageVetx. Fact-only units (VetxOnly) of this module run
+// just the fact-producing analyzers, diagnostics discarded — the
+// dependent that imports them re-reports on its own unit.
 package main
 
 import (
@@ -37,6 +50,8 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"odbgc/internal/analysis"
@@ -56,10 +71,18 @@ type vetConfig struct {
 	IgnoredFiles              []string
 	ImportMap                 map[string]string // import path -> canonical package path
 	PackageFile               map[string]string // canonical package path -> export data file
+	PackageVetx               map[string]string // canonical package path -> dependency's fact file
 	Standard                  map[string]bool
 	VetxOnly                  bool // run only to produce facts for dependents
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
+}
+
+// moduleImportPath reports whether path names a package of this module.
+// Only module packages carry odbgc facts; everything else (the standard
+// library) gets the empty fact table.
+func moduleImportPath(path string) bool {
+	return path == "odbgc" || strings.HasPrefix(path, "odbgc/")
 }
 
 func main() {
@@ -78,6 +101,9 @@ func main() {
 // separately from driver errors, so main can exit 1 for the former and
 // 2 for the latter.
 func run(args []string, stdout, stderr io.Writer) (findings bool, err error) {
+	if len(args) >= 1 && args[0] == "check" {
+		return runCheck(args[1:], stdout, stderr)
+	}
 	if len(args) == 1 {
 		switch {
 		case args[0] == "-V=full" || args[0] == "--V=full":
@@ -89,7 +115,7 @@ func run(args []string, stdout, stderr io.Writer) (findings bool, err error) {
 		}
 	}
 	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
-		return false, errors.New("usage: odbgc-vet unit.cfg (normally invoked via go vet -vettool=odbgc-vet)")
+		return false, errors.New("usage: odbgc-vet unit.cfg | odbgc-vet check [flags] [packages] (unit mode is normally invoked via go vet -vettool=odbgc-vet)")
 	}
 	return runUnit(args[0], stderr)
 }
@@ -112,6 +138,13 @@ func printVersion(stdout io.Writer) error {
 	if _, err := io.Copy(h, f); err != nil {
 		return fmt.Errorf("-V=full: hashing %s: %w", exe, err)
 	}
+	// ODBGCVET_SALT folds into the buildID so a fresh salt invalidates
+	// every cached vet result: `odbgc-vet check` sets one per run to make
+	// all units actually execute (the stale-suppression sweep needs every
+	// suppression probed, and a cache hit probes nothing).
+	if salt := os.Getenv("ODBGCVET_SALT"); salt != "" {
+		io.WriteString(h, salt)
+	}
 	fmt.Fprintf(stdout, "odbgc-vet version devel analyzers buildID=%x\n", h.Sum(nil))
 	return nil
 }
@@ -125,13 +158,14 @@ func runUnit(cfgFile string, stderr io.Writer) (bool, error) {
 		return false, fmt.Errorf("%s: %w", cfgFile, err)
 	}
 
-	// The suite has no inter-package facts, so dependency-only runs
-	// have nothing to compute; still record an (empty) facts file so
-	// the build cache has something to save.
-	if err := writeVetx(cfg); err != nil {
-		return false, fmt.Errorf("%s: %w", cfg.ImportPath, err)
-	}
-	if cfg.VetxOnly {
+	// Fact-only units outside the module (standard-library dependencies
+	// pulled in by a narrow target pattern) carry no odbgc facts: record
+	// the empty fact table so the build cache has something to save, and
+	// skip the typecheck entirely.
+	if cfg.VetxOnly && !moduleImportPath(cfg.ImportPath) {
+		if err := writeVetx(cfg, nil); err != nil {
+			return false, fmt.Errorf("%s: %w", cfg.ImportPath, err)
+		}
 		return false, nil
 	}
 
@@ -141,7 +175,7 @@ func runUnit(cfgFile string, stderr io.Writer) (bool, error) {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return false, nil // the compiler will report it
+				return false, writeVetx(cfg, nil) // the compiler will report it
 			}
 			return false, fmt.Errorf("parsing %s: %w", cfg.ImportPath, err)
 		}
@@ -164,23 +198,42 @@ func runUnit(cfgFile string, stderr io.Writer) (bool, error) {
 	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return false, nil
+			return false, writeVetx(cfg, nil)
 		}
 		return false, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
 	}
 
+	facts, err := loadDepFacts(cfg)
+	if err != nil {
+		return false, fmt.Errorf("%s: %w", cfg.ImportPath, err)
+	}
+	used := newUsedRecorder()
+
 	findings := false
 	for _, a := range analysis.All() {
+		if cfg.VetxOnly && !a.Facts {
+			continue // fact-only unit: nothing to report, nothing to export
+		}
 		pass := &analysis.Pass{
 			Analyzer:  a,
 			Fset:      fset,
 			Files:     files,
 			Pkg:       pkg,
 			TypesInfo: info,
+			Facts:     facts,
 		}
-		pass.Report = func(d analysis.Diagnostic) {
-			fmt.Fprintf(stderr, "%s: %s: %s\n", fset.Position(d.Pos), a.Name, d.Message)
-			findings = true
+		if used != nil {
+			pass.OnSuppressed = used.record
+		}
+		if cfg.VetxOnly {
+			// Dependents re-run the suite on their own units; only the
+			// exported facts matter here.
+			pass.Report = func(analysis.Diagnostic) {}
+		} else {
+			pass.Report = func(d analysis.Diagnostic) {
+				fmt.Fprintf(stderr, "%s: %s: %s\n", fset.Position(d.Pos), a.Name, d.Message)
+				findings = true
+			}
 		}
 		if err := a.Run(pass); err != nil {
 			// An analyzer crash still fails the vet run, but the
@@ -189,7 +242,36 @@ func runUnit(cfgFile string, stderr io.Writer) (bool, error) {
 			findings = true
 		}
 	}
+	if err := writeVetx(cfg, facts); err != nil {
+		return false, fmt.Errorf("%s: %w", cfg.ImportPath, err)
+	}
+	if used != nil {
+		if err := used.flush(cfg); err != nil {
+			return false, fmt.Errorf("%s: %w", cfg.ImportPath, err)
+		}
+	}
 	return findings, nil
+}
+
+// loadDepFacts rebuilds the fact store from the dependencies' vetx
+// files. Only module packages are decoded: the standard library's fact
+// files hold the empty table, and leaving those paths out of the store
+// keeps HasPackage meaning "analyzed by this tool with facts".
+func loadDepFacts(cfg *vetConfig) (*analysis.FactStore, error) {
+	store := analysis.NewFactStore()
+	for path, file := range cfg.PackageVetx {
+		if !moduleImportPath(path) {
+			continue
+		}
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("reading facts of dependency %s: %w", path, err)
+		}
+		if err := store.DecodePackage(path, data); err != nil {
+			return nil, err
+		}
+	}
+	return store, nil
 }
 
 func readConfig(name string) (*vetConfig, error) {
@@ -235,14 +317,72 @@ type importerFunc func(string) (*types.Package, error)
 
 func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
 
-// writeVetx records the tool's (empty) fact output where the go command
-// asked for it; absence would defeat caching of the vet action.
-func writeVetx(cfg *vetConfig) error {
+// writeVetx records the unit's fact output where the go command asked
+// for it; absence would defeat caching of the vet action. A nil store
+// (non-module units, typecheck bail-outs) writes the empty fact table.
+func writeVetx(cfg *vetConfig, facts *analysis.FactStore) error {
 	if cfg.VetxOutput == "" {
 		return nil
 	}
-	if err := os.WriteFile(cfg.VetxOutput, []byte("odbgc-vet: no facts\n"), 0o666); err != nil {
+	data := []byte("{}\n")
+	if facts != nil {
+		facts.AddPackage(cfg.ImportPath)
+		var err error
+		data, err = facts.EncodePackage(cfg.ImportPath)
+		if err != nil {
+			return fmt.Errorf("encoding facts: %w", err)
+		}
+	}
+	if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
 		return fmt.Errorf("writing facts file: %w", err)
+	}
+	return nil
+}
+
+// A usedRecorder accumulates the suppression comments that matched a
+// diagnostic probe during this unit's analysis. `odbgc-vet check -stale`
+// points ODBGCVET_USED_DIR at a scratch directory, runs go vet over
+// every package, then diffs the recorded lines against all
+// //odbgc:*-ok comments in the tree: a comment no probe ever matched is
+// a stale suppression.
+type usedRecorder struct {
+	dir  string
+	seen map[string]bool
+}
+
+// newUsedRecorder returns a recorder bound to ODBGCVET_USED_DIR, or nil
+// when the environment does not ask for recording.
+func newUsedRecorder() *usedRecorder {
+	dir := os.Getenv("ODBGCVET_USED_DIR")
+	if dir == "" {
+		return nil
+	}
+	return &usedRecorder{dir: dir, seen: map[string]bool{}}
+}
+
+func (r *usedRecorder) record(file string, line int, marker string) {
+	r.seen[fmt.Sprintf("%s:%d:%s", file, line, marker)] = true
+}
+
+// flush writes the unit's record to a file named after the import path:
+// one `covered <file>` line per analyzed source file, one
+// `used <file>:<line>:<marker>` line per matched suppression, sorted.
+// The covered lines let the stale sweep judge only files a unit
+// actually analyzed, so a narrow target pattern cannot make untouched
+// suppressions look stale. Each import path is analyzed at most once
+// per vet invocation, so the name cannot collide within a run.
+func (r *usedRecorder) flush(cfg *vetConfig) error {
+	var lines []string
+	for _, f := range cfg.GoFiles {
+		lines = append(lines, "covered "+f)
+	}
+	for l := range r.seen {
+		lines = append(lines, "used "+l)
+	}
+	sort.Strings(lines)
+	name := strings.ReplaceAll(cfg.ImportPath, "/", "__") + ".used"
+	if err := os.WriteFile(filepath.Join(r.dir, name), []byte(strings.Join(lines, "\n")+"\n"), 0o666); err != nil {
+		return fmt.Errorf("recording used suppressions: %w", err)
 	}
 	return nil
 }

@@ -1,5 +1,5 @@
 // Package analysis is the repository's static-analysis layer: a small
-// go/analysis-compatible framework plus five project-specific analyzers
+// go/analysis-compatible framework plus eight project-specific analyzers
 // that turn the codebase's determinism and zero-allocation conventions
 // into compile-time errors.
 //
@@ -12,6 +12,15 @@
 // fast paths (hotalloc), dangling pointers into the intrusive frame
 // arenas (arenaindex), and silently non-exhaustive switches over the
 // event-kind and policy enumerations (kindswitch).
+//
+// Three analyzers see across function and package boundaries through a
+// per-package call graph (callgraph.go) and serialized modular facts
+// (facts.go): hotcall propagates //odbgc:hotpath allocation-freedom
+// through callees, detflow tracks nondeterminism taint from sources
+// (wall clock, global rand, environment, map order) to result and
+// recording sinks, and barrierproto machine-checks the shard engine's
+// epoch-barrier channel protocol against its //odbgc:barrier
+// annotations.
 //
 // The framework deliberately mirrors golang.org/x/tools/go/analysis —
 // Analyzer, Pass, Diagnostic carry the same meaning — but is built on
@@ -38,6 +47,10 @@ type Analyzer struct {
 	Doc string
 	// Run applies the analyzer to one package.
 	Run func(*Pass) error
+	// Facts marks an interprocedural analyzer: its Run must execute even
+	// on fact-only (VetxOnly) units, because dependents consume the
+	// summaries it exports into Pass.Facts.
+	Facts bool
 }
 
 // A Pass provides one analyzed package to an Analyzer's Run function.
@@ -48,8 +61,20 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Facts is the cross-package fact store: dependencies' summaries are
+	// loaded before the pass runs, and fact-producing analyzers export
+	// this package's summaries into it. Nil when the driver provides no
+	// facts (single-package fixture runs); analyzers must tolerate that.
+	Facts *FactStore
+
 	// Report delivers one diagnostic.
 	Report func(Diagnostic)
+
+	// OnSuppressed, when non-nil, observes every suppression comment that
+	// actually suppressed (or would suppress) a diagnostic: the driver
+	// uses it for stale-suppression detection. The position is the
+	// suppression comment's own line.
+	OnSuppressed func(file string, line int, marker string)
 
 	// suppressions maps file -> line -> suppression marker text for
 	// every //odbgc:<marker> comment, built lazily.
@@ -105,7 +130,15 @@ func (p *Pass) Suppressed(pos token.Pos, marker string) bool {
 	if lines == nil {
 		return false
 	}
-	return lines[posn.Line] == marker || lines[posn.Line-1] == marker
+	for _, line := range []int{posn.Line, posn.Line - 1} {
+		if lines[line] == marker {
+			if p.OnSuppressed != nil {
+				p.OnSuppressed(posn.Filename, line, marker)
+			}
+			return true
+		}
+	}
+	return false
 }
 
 // InTestFile reports whether pos lies in a _test.go file. The analyzers
@@ -141,7 +174,10 @@ func isResultPackage(pass *Pass) bool {
 	return resultPackages[pass.Pkg.Name()]
 }
 
-// All returns every analyzer in the suite, in reporting order.
+// All returns every analyzer in the suite, in reporting order. The
+// fact-producing interprocedural analyzers (Facts == true) come last so
+// that drivers running the suite in order have every intraprocedural
+// diagnostic before the cross-package ones.
 func All() []*Analyzer {
 	return []*Analyzer{
 		DetMap,
@@ -149,6 +185,9 @@ func All() []*Analyzer {
 		HotAlloc,
 		ArenaIndex,
 		KindSwitch,
+		HotCall,
+		DetFlow,
+		BarrierProto,
 	}
 }
 

@@ -30,3 +30,20 @@ func TestArenaIndex(t *testing.T) {
 func TestKindSwitch(t *testing.T) {
 	atest.Run(t, "testdata/kindswitch/core", analysis.KindSwitch)
 }
+
+// The interprocedural fixtures are multi-package: every cross-package
+// finding below depends on facts that atest serialized after analyzing
+// the dependency and decoded before analyzing the dependent, so these
+// tests prove the summaries survive the vetx wire format.
+
+func TestHotCall(t *testing.T) {
+	atest.RunMulti(t, "testdata/hotcall", analysis.HotCall, "depbuf", "hot")
+}
+
+func TestDetFlow(t *testing.T) {
+	atest.RunMulti(t, "testdata/detflow", analysis.DetFlow, "timing", "record", "sim")
+}
+
+func TestBarrierProto(t *testing.T) {
+	atest.RunMulti(t, "testdata/barrierproto", analysis.BarrierProto, "shard", "relay", "eng")
+}

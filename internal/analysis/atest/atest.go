@@ -10,7 +10,15 @@
 // comment on its line, and every want comment must be matched by at least
 // one diagnostic; either mismatch fails the test. Fixtures are
 // type-checked from source (importer "source"), so they may import the
-// standard library but nothing else.
+// standard library but nothing else — except in multi-package fixtures
+// (RunMulti), where a fixture package may import the packages listed
+// before it, by their directory names.
+//
+// RunMulti exercises the interprocedural analyzers the way the real vet
+// driver does: packages are analyzed in dependency order, and the facts
+// each package exports are serialized and re-decoded before the next
+// package consumes them, so a passing fixture proves the summaries
+// survive the vetx wire format, not just in-memory sharing.
 package atest
 
 import (
@@ -46,44 +54,91 @@ type want struct {
 // diagnostics it reports against the fixture's want comments.
 func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 	t.Helper()
+	RunMulti(t, dir, a, ".")
+}
+
+// RunMulti applies the analyzer to a multi-package fixture: each of pkgs
+// names a subdirectory of dir holding one package, listed in dependency
+// order, and a package may import earlier ones by those names. The
+// special name "." means dir itself holds the (single) package. Facts
+// exported while analyzing one package are serialized and decoded into a
+// fresh store before the next package runs, mirroring the vetx files of
+// the real driver. Diagnostics and want comments are matched across the
+// whole fixture.
+func RunMulti(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
 
 	fset := token.NewFileSet()
-	files, err := parseFixture(fset, dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(files) == 0 {
-		t.Fatalf("no Go files in fixture %s", dir)
-	}
-
-	pkgName := files[0].Name.Name
-	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
-	info := &types.Info{
-		Types:      map[ast.Expr]types.TypeAndValue{},
-		Defs:       map[*ast.Ident]types.Object{},
-		Uses:       map[*ast.Ident]types.Object{},
-		Implicits:  map[ast.Node]types.Object{},
-		Selections: map[*ast.SelectorExpr]*types.Selection{},
-		Scopes:     map[ast.Node]*types.Scope{},
-	}
-	pkg, err := conf.Check(pkgName, fset, files, info)
-	if err != nil {
-		t.Fatalf("type-checking fixture %s: %v", dir, err)
-	}
-
-	wants := collectWants(t, fset, files)
+	wire := map[string][]byte{} // import path -> encoded facts
+	checked := map[string]*types.Package{}
+	var wireOrder []string
 
 	var diags []analysis.Diagnostic
-	pass := &analysis.Pass{
-		Analyzer:  a,
-		Fset:      fset,
-		Files:     files,
-		Pkg:       pkg,
-		TypesInfo: info,
-		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
-	}
-	if err := a.Run(pass); err != nil {
-		t.Fatalf("%s: %v", a.Name, err)
+	var wants []*want
+
+	for _, name := range pkgs {
+		pkgDir := dir
+		importPath := "."
+		if name != "." {
+			pkgDir = filepath.Join(dir, name)
+			importPath = name
+		}
+		files, err := parseFixture(fset, pkgDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(files) == 0 {
+			t.Fatalf("no Go files in fixture %s", pkgDir)
+		}
+
+		conf := types.Config{Importer: &fixtureImporter{
+			local: checked,
+			std:   importer.ForCompiler(fset, "source", nil),
+		}}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Implicits:  map[ast.Node]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		pkg, err := conf.Check(importPath, fset, files, info)
+		if err != nil {
+			t.Fatalf("type-checking fixture %s: %v", pkgDir, err)
+		}
+		checked[importPath] = pkg
+
+		// Rebuild the fact store from the serialized form, exactly as the
+		// vet driver rebuilds it from the dependencies' vetx files.
+		store := analysis.NewFactStore()
+		for _, path := range wireOrder {
+			if err := store.DecodePackage(path, wire[path]); err != nil {
+				t.Fatalf("decoding facts for %s: %v", path, err)
+			}
+		}
+
+		wants = append(wants, collectWants(t, fset, files)...)
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Facts:     store,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+
+		store.AddPackage(importPath)
+		data, err := store.EncodePackage(importPath)
+		if err != nil {
+			t.Fatalf("encoding facts for %s: %v", importPath, err)
+		}
+		wire[importPath] = data
+		wireOrder = append(wireOrder, importPath)
 	}
 
 	for _, d := range diags {
@@ -97,6 +152,21 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.pattern)
 		}
 	}
+}
+
+// fixtureImporter resolves imports of already-checked fixture packages
+// by their directory names, delegating everything else to the source
+// importer (the standard library).
+type fixtureImporter struct {
+	local map[string]*types.Package
+	std   types.Importer
+}
+
+func (i *fixtureImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := i.local[path]; ok {
+		return pkg, nil
+	}
+	return i.std.Import(path)
 }
 
 // parseFixture parses every .go file in dir, sorted by name for stable

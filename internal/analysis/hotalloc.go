@@ -1,7 +1,9 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -19,6 +21,9 @@ import (
 // fallback, an amortized append that the guards prove free in steady
 // state, a panic-path format — carries //odbgc:alloc-ok <reason> on its
 // line.
+//
+// HotAlloc sees only the annotated function's own body; the hotcall
+// analyzer extends the same rule through the call graph.
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
 	Doc: "forbids heap-allocating constructs in functions annotated " +
@@ -37,11 +42,19 @@ const (
 // IsHotPath reports whether the function declaration's doc comment
 // carries the //odbgc:hotpath marker.
 func IsHotPath(fn *ast.FuncDecl) bool {
+	return hasDocMarker(fn, HotPathMarker)
+}
+
+// hasDocMarker reports whether fn's doc comment contains a line carrying
+// exactly the given //odbgc:* marker word (so //odbgc:barrier never
+// matches //odbgc:barrier-ok).
+func hasDocMarker(fn *ast.FuncDecl, marker string) bool {
 	if fn.Doc == nil {
 		return false
 	}
 	for _, c := range fn.Doc.List {
-		if strings.HasPrefix(strings.TrimSpace(c.Text), HotPathMarker) {
+		text := strings.TrimSpace(c.Text)
+		if text == marker || strings.HasPrefix(text, marker+" ") {
 			return true
 		}
 	}
@@ -58,51 +71,56 @@ func runHotAlloc(pass *Pass) error {
 			if pass.InTestFile(fn.Pos()) {
 				continue
 			}
-			checkHotFunc(pass, fn)
+			forEachAllocSite(pass, fn, func(pos token.Pos, msg string) {
+				pass.Reportf(pos, hotallocMarker, "%s", msg)
+			})
 		}
 	}
 	return nil
 }
 
-func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
+// forEachAllocSite invokes report for every heap-allocating construct in
+// fn's body, suppression not yet applied — hotalloc reports each site
+// directly (Reportf consults the //odbgc:alloc-ok comments), while
+// hotcall filters suppressed sites out of the summaries it propagates.
+func forEachAllocSite(pass *Pass, fn *ast.FuncDecl, report func(pos token.Pos, msg string)) {
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CompositeLit:
 			switch pass.TypesInfo.TypeOf(n).Underlying().(type) {
 			case *types.Map:
-				pass.Reportf(n.Pos(), hotallocMarker, "map literal allocates in hot path")
+				report(n.Pos(), "map literal allocates in hot path")
 			case *types.Slice:
-				pass.Reportf(n.Pos(), hotallocMarker, "slice literal allocates in hot path")
+				report(n.Pos(), "slice literal allocates in hot path")
 			}
 		case *ast.FuncLit:
 			if capt := capturedVar(pass, fn, n); capt != "" {
-				pass.Reportf(n.Pos(), hotallocMarker,
-					"closure capturing %s allocates in hot path", capt)
+				report(n.Pos(), fmt.Sprintf("closure capturing %s allocates in hot path", capt))
 			}
 		case *ast.CallExpr:
-			checkHotCall(pass, n)
+			checkHotCall(pass, n, report)
 		}
 		return true
 	})
 }
 
-func checkHotCall(pass *Pass, call *ast.CallExpr) {
+func checkHotCall(pass *Pass, call *ast.CallExpr, report func(pos token.Pos, msg string)) {
 	switch {
 	case isBuiltin(pass, call.Fun, "make"):
-		pass.Reportf(call.Pos(), hotallocMarker, "make allocates in hot path")
+		report(call.Pos(), "make allocates in hot path")
 		return
 	case isBuiltin(pass, call.Fun, "new"):
-		pass.Reportf(call.Pos(), hotallocMarker, "new allocates in hot path")
+		report(call.Pos(), "new allocates in hot path")
 		return
 	case isBuiltin(pass, call.Fun, "append"):
-		pass.Reportf(call.Pos(), hotallocMarker,
+		report(call.Pos(),
 			"append may grow its backing array in hot path; preallocate or annotate //odbgc:alloc-ok <reason>")
 		return
 	}
 	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
 		if pkg, ok := sel.X.(*ast.Ident); ok {
 			if pn, ok := pass.TypesInfo.Uses[pkg].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
-				pass.Reportf(call.Pos(), hotallocMarker, "fmt.%s allocates in hot path", sel.Sel.Name)
+				report(call.Pos(), fmt.Sprintf("fmt.%s allocates in hot path", sel.Sel.Name))
 				return
 			}
 		}
@@ -110,7 +128,7 @@ func checkHotCall(pass *Pass, call *ast.CallExpr) {
 	// Explicit conversion to an interface type: T(x) with T interface.
 	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
 		if types.IsInterface(tv.Type) && len(call.Args) == 1 && !isInterfaceValue(pass, call.Args[0]) {
-			pass.Reportf(call.Pos(), hotallocMarker,
+			report(call.Pos(),
 				"conversion of concrete value to interface allocates in hot path")
 		}
 		return
@@ -136,8 +154,8 @@ func checkHotCall(pass *Pass, call *ast.CallExpr) {
 			continue
 		}
 		if types.IsInterface(pt) && !isInterfaceValue(pass, arg) {
-			pass.Reportf(arg.Pos(), hotallocMarker,
-				"passing concrete value as interface %s allocates in hot path", pt.String())
+			report(arg.Pos(),
+				fmt.Sprintf("passing concrete value as interface %s allocates in hot path", pt.String()))
 		}
 	}
 }

@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotCall extends hotalloc through the call graph: a //odbgc:hotpath
+// function must not reach a heap allocation through any chain of
+// statically resolvable calls, no matter how many callees deep or how
+// many packages away the allocating construct hides. hotalloc checks the
+// annotated body; hotcall checks everything the body calls.
+//
+// Per package, every declared function is summarized once — does calling
+// it allocate, and through which chain? — with suppressed sites
+// (//odbgc:alloc-ok, the vetted deliberate allocations) excluded, and
+// the summaries are exported as modular facts. A dependent package's
+// pass consults those facts for calls it cannot see into, so the
+// analysis crosses package boundaries at the cost of one JSON fact file
+// per package, not a whole-program load.
+//
+// Calls the graph cannot resolve — interface methods, stored function
+// values — contribute nothing: the analyzer is deliberately
+// underapproximate there, and the AllocsPerRun guards remain the runtime
+// backstop for dynamic dispatch. A report names the full call chain from
+// the hot function to the allocation site; the fix is to make the chain
+// allocation-free or annotate the first call //odbgc:alloc-ok <reason>.
+var HotCall = &Analyzer{
+	Name: "hotcall",
+	Doc: "forbids heap allocation reachable through resolved calls from " +
+		"//odbgc:hotpath functions, reporting the full call chain",
+	Run:   runHotCall,
+	Facts: true,
+}
+
+func runHotCall(pass *Pass) error {
+	g := BuildCallGraph(pass)
+	c := &hotcallComputer{pass: pass, g: g,
+		state: map[*types.Func]int{},
+		facts: map[*types.Func]*HotcallFact{},
+	}
+	// Summarize every declared function (deterministic order), exporting
+	// the summaries for dependent packages.
+	for _, fn := range g.Nodes {
+		if pass.InTestFile(g.Decls[fn].Pos()) {
+			continue
+		}
+		fact := c.summary(fn)
+		if pass.Facts != nil {
+			pass.Facts.Ensure(fn).Hotcall = fact
+		}
+	}
+	// Report: each call site in a hot function whose callee's summary
+	// allocates, with the chain from that callee down to the site.
+	for _, fn := range g.Nodes {
+		fd := g.Decls[fn]
+		if !IsHotPath(fd) || pass.InTestFile(fd.Pos()) {
+			continue
+		}
+		for _, e := range g.Edges[fn] {
+			if !ModuleFunc(pass, e.Callee) {
+				continue
+			}
+			sub := c.calleeFact(e.Callee)
+			if sub == nil || !sub.Allocates {
+				continue
+			}
+			chain := append([]string{FuncDisplay(e.Callee) + " (" + posLabel(pass.Fset, e.Pos) + ")"}, sub.Chain...)
+			pass.Reportf(e.Pos, hotallocMarker,
+				"hot path reaches an allocation through %s; make the chain allocation-free or annotate //odbgc:alloc-ok <reason>",
+				strings.Join(chain, " -> "))
+		}
+	}
+	return nil
+}
+
+// hotcallComputer memoizes per-function allocation summaries with a
+// cycle guard: a recursive back edge contributes nothing (if any member
+// of the cycle allocates directly, its own summary finds it).
+type hotcallComputer struct {
+	pass  *Pass
+	g     *CallGraph
+	state map[*types.Func]int // 0 unknown, 1 computing, 2 done
+	facts map[*types.Func]*HotcallFact
+}
+
+// calleeFact resolves a callee's summary: locally computed for functions
+// declared in this package, imported from the fact store otherwise.
+func (c *hotcallComputer) calleeFact(fn *types.Func) *HotcallFact {
+	if _, ok := c.g.Decls[fn]; ok {
+		return c.summary(fn)
+	}
+	if f := c.pass.Facts.Func(fn); f != nil {
+		return f.Hotcall
+	}
+	return nil
+}
+
+func (c *hotcallComputer) summary(fn *types.Func) *HotcallFact {
+	switch c.state[fn] {
+	case 1: // cycle back edge
+		return &HotcallFact{}
+	case 2:
+		return c.facts[fn]
+	}
+	c.state[fn] = 1
+	fact := &HotcallFact{}
+	fd := c.g.Decls[fn]
+
+	// Direct sites first: the innermost chain entry is the construct.
+	forEachAllocSite(c.pass, fd, func(pos token.Pos, msg string) {
+		if fact.Allocates || c.pass.Suppressed(pos, hotallocMarker) {
+			return
+		}
+		fact.Allocates = true
+		fact.Chain = []string{allocChainLabel(msg) + " (" + posLabel(c.pass.Fset, pos) + ")"}
+	})
+	if !fact.Allocates {
+		for _, e := range c.g.Edges[fn] {
+			if !ModuleFunc(c.pass, e.Callee) {
+				continue
+			}
+			sub := c.calleeFact(e.Callee)
+			if sub == nil || !sub.Allocates {
+				continue
+			}
+			// The call itself may carry a deliberate-allocation waiver.
+			if c.pass.Suppressed(e.Pos, hotallocMarker) {
+				continue
+			}
+			fact.Allocates = true
+			fact.Chain = append([]string{FuncDisplay(e.Callee) + " (" + posLabel(c.pass.Fset, e.Pos) + ")"}, sub.Chain...)
+			break
+		}
+	}
+	c.state[fn] = 2
+	c.facts[fn] = fact
+	return fact
+}
+
+// allocChainLabel compresses a hotalloc message for use inside a call
+// chain: "append may grow its backing array in hot path; preallocate..."
+// becomes "append may grow its backing array".
+func allocChainLabel(msg string) string {
+	msg, _, _ = strings.Cut(msg, ";")
+	return strings.TrimSuffix(msg, " in hot path")
+}

@@ -1,0 +1,60 @@
+// Package eng is the consumer side of the barrierproto fixture: its
+// findings depend on the shard package's types and the relay package's
+// ParamOps facts, both arriving through the serialized fact store.
+package eng
+
+import (
+	"relay"
+	"shard"
+)
+
+type engine struct {
+	inbox chan shard.Msg
+	peers map[int]chan shard.Msg
+}
+
+// run drives one epoch; ops inside the annotation are fine, including
+// handing the channel to the relay helper.
+//
+//odbgc:barrier
+func (e *engine) run() {
+	e.inbox <- shard.Msg{}
+	_ = relay.Forward(e.inbox)
+}
+
+// leak operates on barrier state without the annotation.
+func (e *engine) leak() {
+	e.inbox <- shard.Msg{} // want `send on shard barrier channel e\.inbox outside a //odbgc:barrier function`
+}
+
+// launder tries to hide the receive inside the helper package; the
+// ParamOps fact pins the operation on the caller.
+func (e *engine) launder() {
+	_ = relay.Forward(e.inbox) // want `passes a barrier channel to relay\.Forward outside a //odbgc:barrier function`
+}
+
+// fanout sends in map order: nondeterministic sender order even inside
+// the annotation.
+//
+//odbgc:barrier
+func (e *engine) fanout() {
+	for _, ch := range e.peers {
+		ch <- shard.Msg{} // want `send on shard barrier channel ch under map iteration`
+	}
+}
+
+// race lets arrival order pick the next delta.
+//
+//odbgc:barrier
+func (e *engine) race(a, b chan shard.Msg) {
+	select { // want `select between 2 barrier channels`
+	case <-a:
+	case <-b:
+	}
+}
+
+// drain waives the out-of-protocol receive with a reviewed reason.
+func (e *engine) drain() {
+	for range e.inbox { //odbgc:barrier-ok fixture: draining after shutdown
+	}
+}

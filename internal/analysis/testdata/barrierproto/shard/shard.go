@@ -1,0 +1,48 @@
+// Package shard declares the barrier message type — any channel
+// carrying it is a barrier channel — and exercises the in-package
+// rules: annotation required for own-state ops, and unexported barrier
+// functions callable only from inside the protocol.
+package shard
+
+// A Msg crosses the epoch barrier between shard runners.
+type Msg struct {
+	Epoch int
+}
+
+type runner struct {
+	out chan Msg
+}
+
+// Run is the exported protocol entry point, callable from anywhere.
+//
+//odbgc:barrier
+func (r *runner) Run() {
+	r.flush()
+}
+
+// flush pushes the pending message.
+//
+//odbgc:barrier
+func (r *runner) flush() {
+	r.out <- Msg{}
+}
+
+// Stop reaches into the protocol from outside it.
+func (r *runner) Stop() {
+	r.flush() // want `call to barrier function shard\.runner\.flush from outside the barrier protocol`
+}
+
+// start may call the exported entry point without being annotated.
+func start(r *runner) {
+	r.Run()
+}
+
+// drop performs a barrier-channel op without the annotation.
+func drop(r *runner) {
+	<-r.out // want `receive on shard barrier channel r\.out outside a //odbgc:barrier function`
+}
+
+// teardown carries a reviewed waiver instead of the annotation.
+func teardown(r *runner) {
+	close(r.out) //odbgc:barrier-ok fixture: teardown after the last epoch
+}

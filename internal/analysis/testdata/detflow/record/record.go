@@ -1,0 +1,8 @@
+// Package record mimics internal/record for the detflow fixture: any
+// call into it from another package is a recording sink.
+package record
+
+// Write persists one row of values.
+func Write(vals ...int64) {
+	_ = vals
+}

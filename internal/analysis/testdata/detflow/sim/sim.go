@@ -1,0 +1,38 @@
+// Package sim is the sink side of the detflow fixture: a result
+// package whose Result fields and record calls must stay free of
+// nondeterminism arriving from the timing package.
+package sim
+
+import (
+	"record"
+	"timing"
+)
+
+// Result mirrors core.Result: a detflow sink type.
+type Result struct {
+	Elapsed int64
+	Events  int64
+}
+
+func build(m map[int]int) Result {
+	r := Result{}
+	r.Elapsed = timing.Stamp()             // want `nondeterministic value flows into sim\.Result\.Elapsed: timing\.Stamp .* -> time\.Now`
+	r.Events = timing.Fixed()              // deterministic callee: no finding
+	r.Events += int64(timing.Pick(m))      // want `flows into sim\.Result\.Events: timing\.Pick .* map iteration order`
+	r.Events = timing.Waived()             // taint stopped at the waived source: no finding
+	r.Elapsed = timing.Stamp() / 1_000_000 //odbgc:nondet-ok fixture: sink-side waiver
+	return r
+}
+
+// viaLocal routes the taint through a local variable before it reaches
+// the sink; the chain names the variable.
+func viaLocal() Result {
+	t := timing.Stamp()
+	t /= 2
+	return Result{Elapsed: t} // want `flows into sim\.Result literal: t .* -> timing\.Stamp .* -> time\.Now`
+}
+
+// persist hands a tainted value straight to the recording package.
+func persist() {
+	record.Write(timing.Stamp()) // want `passed to recording sink record\.Write: timing\.Stamp .* -> time\.Now`
+}

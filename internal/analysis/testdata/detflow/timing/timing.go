@@ -1,0 +1,31 @@
+// Package timing is the source side of the detflow fixture: its taint
+// summaries cross into the sim package only through the serialized
+// fact store.
+package timing
+
+import "time"
+
+// Stamp reads the wall clock: tainted.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Fixed is deterministic: untainted.
+func Fixed() int64 {
+	return 42
+}
+
+// Waived reads the clock behind a source-level waiver, which stops the
+// taint before it can propagate to any caller.
+func Waived() int64 {
+	return time.Now().UnixNano() //odbgc:nondet-ok fixture: vetted wall-clock read
+}
+
+// Pick returns whichever element map iteration yields first: tainted
+// by Go's randomized map order.
+func Pick(m map[int]int) int {
+	for _, v := range m {
+		return v
+	}
+	return 0
+}

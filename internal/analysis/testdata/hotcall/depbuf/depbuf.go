@@ -1,0 +1,29 @@
+// Package depbuf is the dependency side of the hotcall fixture: its
+// summaries reach the hot package only through the serialized fact
+// store, so every finding over there proves the cross-package leg.
+package depbuf
+
+// Grow allocates a larger dense array. Callers on a hot path must not
+// reach it.
+func Grow(dense []int, n int) []int {
+	grown := make([]int, n)
+	copy(grown, dense)
+	return grown
+}
+
+// Get reads an element; allocation-free, so hot callers are fine.
+func Get(dense []int, i int) int {
+	return dense[i]
+}
+
+// Vetted allocates behind a site-level waiver: the suppression is
+// excluded from the exported summary, so hot callers see it as clean.
+func Vetted() []int {
+	return make([]int, 4) //odbgc:alloc-ok fixture: vetted deliberate allocation
+}
+
+// Fill reaches Grow one hop down, so its own summary inherits the
+// allocation with a two-link chain.
+func Fill(dense []int, n int) []int {
+	return Grow(dense, n)
+}

@@ -1,0 +1,41 @@
+// Package hot holds the //odbgc:hotpath functions of the hotcall
+// fixture; every allocation they can reach lives across the package
+// boundary in depbuf.
+package hot
+
+import "depbuf"
+
+var table []int
+
+// fill is the fixture's hot loop body.
+//
+//odbgc:hotpath
+func fill(i int) {
+	if i >= len(table) {
+		table = depbuf.Grow(table, i*2) // want `hot path reaches an allocation through depbuf\.Grow .* -> make allocates`
+	}
+	_ = depbuf.Get(table, i)      // allocation-free callee: no finding
+	_ = depbuf.Vetted()           // callee's allocation is waived at its site: no finding
+	table = depbuf.Grow(table, 8) //odbgc:alloc-ok fixture: call-site waiver
+}
+
+// grow is a local helper one hop from the cross-package allocation.
+func grow(n int) []int {
+	return depbuf.Grow(nil, n)
+}
+
+// refill reaches the allocation through two call links; the finding
+// must name the whole chain.
+//
+//odbgc:hotpath
+func refill(n int) {
+	table = grow(n) // want `through hot\.grow .* -> depbuf\.Grow .* -> make allocates`
+}
+
+// deep reaches the allocation through a chain built entirely inside
+// the dependency package (Fill -> Grow -> make).
+//
+//odbgc:hotpath
+func deep(n int) {
+	table = depbuf.Fill(table, n) // want `through depbuf\.Fill .* -> depbuf\.Grow .* -> make allocates`
+}

@@ -160,13 +160,13 @@ func (c *Collector) Collect() CollectionResult {
 		return CollectionResult{}
 	}
 	if victim == c.h.EmptyPartition() {
-		panic(fmt.Sprintf("gc: policy %s selected the reserved empty partition", c.pol.Name()))
+		panic(fmt.Sprintf("gc: policy %s selected the reserved empty partition", c.pol.Name())) //odbgc:alloc-ok panic path
 	}
 	res := c.evacuate(victim)
 	c.pol.Collected(victim, res.Dest)
 	if c.paranoid {
 		if msg := c.rem.Audit(); msg != "" {
-			panic("gc: remembered sets inconsistent after collection: " + msg)
+			panic("gc: remembered sets inconsistent after collection: " + msg) //odbgc:alloc-ok panic path
 		}
 	}
 	return res
@@ -182,10 +182,10 @@ func (c *Collector) Collect() CollectionResult {
 func (c *Collector) evacuate(victim heap.PartitionID) CollectionResult {
 	dest := c.h.EmptyPartition()
 	if dest == heap.NoPartition {
-		panic("gc: evacuate without a reserved empty partition")
+		panic("gc: evacuate without a reserved empty partition") //odbgc:alloc-ok panic path
 	}
 	if dest == victim {
-		panic("gc: evacuate of the empty partition")
+		panic("gc: evacuate of the empty partition") //odbgc:alloc-ok panic path
 	}
 	res := CollectionResult{Collected: true, Victim: victim, Dest: dest}
 

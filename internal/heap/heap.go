@@ -148,7 +148,7 @@ func (h *Heap) addPartition() *Partition {
 		ID:   id,
 		Base: Addr(int64(id) * h.cfg.PartitionBytes()),
 	}
-	h.parts = append(h.parts, p)
+	h.parts = append(h.parts, p) //odbgc:alloc-ok amortized partition-table growth
 	h.freePos = append(h.freePos, -1)
 	h.freeInsert(id)
 	return p
@@ -553,7 +553,7 @@ func (h *Heap) freeInsert(p PartitionID) {
 	if h.freePos[p] >= 0 {
 		return
 	}
-	h.byFree = append(h.byFree, p)
+	h.byFree = append(h.byFree, p) //odbgc:alloc-ok amortized free-index growth
 	h.freePos[p] = int32(len(h.byFree) - 1)
 	h.freeUp(len(h.byFree) - 1)
 }

@@ -431,7 +431,7 @@ func growDense[T any](dense []T, p int, empty T) []T {
 	if n > maxDensePages {
 		n = maxDensePages
 	}
-	grown := make([]T, n)
+	grown := make([]T, n) //odbgc:alloc-ok amortized dense-array growth, bounded by maxDensePages
 	copy(grown, dense)
 	for i := len(dense); i < n; i++ {
 		grown[i] = empty

@@ -85,7 +85,7 @@ func ReadFile(path string) (*File, error) {
 	return f, nil
 }
 
-func newTable(kind uint32) Table {
+func newTable(kind segKind) Table {
 	schema, name := schemaFor(kind)
 	t := Table{Name: name, Cols: make([]Column, len(schema))}
 	for i, c := range schema {
@@ -108,7 +108,7 @@ func Read(data []byte) (*File, error) {
 		Activations: newTable(kindActivations),
 		Samples:     newTable(kindSamples),
 	}
-	tables := map[uint32]*Table{
+	tables := map[segKind]*Table{
 		kindRuns:        &f.Runs,
 		kindActivations: &f.Activations,
 		kindSamples:     &f.Samples,
@@ -124,7 +124,7 @@ func Read(data []byte) (*File, error) {
 		plen := int64(binary.LittleEndian.Uint32(rest[4:8]))
 		idx := binary.LittleEndian.Uint32(rest[8:12])
 		wantCRC := binary.LittleEndian.Uint32(rest[12:16])
-		kind := binary.LittleEndian.Uint32(rest[16:20])
+		kind := segKind(binary.LittleEndian.Uint32(rest[16:20]))
 		reserved := binary.LittleEndian.Uint32(rest[20:24])
 		if idx != uint32(seg) {
 			return nil, fmt.Errorf("record: segment %d: header claims index %d", seg, idx)
@@ -145,7 +145,14 @@ func Read(data []byte) (*File, error) {
 		segOff := off
 		off += segHeaderSize + plen
 
-		if kind == kindIndex {
+		if kind != kindIndex && rows > maxSegRows {
+			return nil, fmt.Errorf("record: segment %d: row count %d exceeds %d", seg, rows, maxSegRows)
+		}
+		switch kind {
+		case kindIndex:
+			// The index is the final segment: verify it against the
+			// observed layout and the trailer, resolve dictionary
+			// references, and the file is complete.
 			if err := verifyIndex(payload, rows, observed, seg); err != nil {
 				return nil, err
 			}
@@ -159,12 +166,12 @@ func Read(data []byte) (*File, error) {
 			if string(trailer[8:]) != string(trailerMagic[:]) {
 				return nil, fmt.Errorf("record: bad trailer magic")
 			}
-			break
-		}
-		if rows > maxSegRows {
-			return nil, fmt.Errorf("record: segment %d: row count %d exceeds %d", seg, rows, maxSegRows)
-		}
-		switch kind {
+			for _, t := range []*Table{&f.Runs, &f.Activations, &f.Samples} {
+				if err := resolveStrings(t, f.Strings); err != nil {
+					return nil, err
+				}
+			}
+			return f, nil
 		case kindDict:
 			if err := decodeDictSegment(f, payload, rows, seg); err != nil {
 				return nil, err
@@ -178,12 +185,6 @@ func Read(data []byte) (*File, error) {
 		}
 		observed = append(observed, indexEntry{kind: kind, offset: segOff, rows: rows})
 	}
-	for _, t := range []*Table{&f.Runs, &f.Activations, &f.Samples} {
-		if err := resolveStrings(t, f.Strings); err != nil {
-			return nil, err
-		}
-	}
-	return f, nil
 }
 
 func decodeDictSegment(f *File, payload []byte, rows, seg int) error {
@@ -247,7 +248,7 @@ func verifyIndex(payload []byte, rows int, observed []indexEntry, seg int) error
 			}
 			vals[j], p = v, p[n:]
 		}
-		got := indexEntry{kind: uint32(vals[0]), offset: int64(vals[1]), rows: int(vals[2])}
+		got := indexEntry{kind: segKind(vals[0]), offset: int64(vals[1]), rows: int(vals[2])}
 		if got != want {
 			return fmt.Errorf("record: segment %d: index entry %d (kind %d, offset %d, rows %d) disagrees with file layout (kind %d, offset %d, rows %d)",
 				seg, i, got.kind, got.offset, got.rows, want.kind, want.offset, want.rows)

@@ -149,12 +149,12 @@ func (in *interner) id(s string) int64 {
 
 // tableBuilder accumulates one table's columns.
 type tableBuilder struct {
-	kind   uint32
+	kind   segKind
 	schema []colSpec
 	cols   [][]int64
 }
 
-func newTableBuilder(kind uint32, schema []colSpec) *tableBuilder {
+func newTableBuilder(kind segKind, schema []colSpec) *tableBuilder {
 	return &tableBuilder{kind: kind, schema: schema, cols: make([][]int64, len(schema))}
 }
 

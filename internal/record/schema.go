@@ -54,8 +54,10 @@ var samplesSchema = []colSpec{
 	{"total_allocated_bytes", false},
 }
 
-// schemaFor maps a data-segment kind to its schema and table name.
-func schemaFor(kind uint32) ([]colSpec, string) {
+// schemaFor maps a segment kind to its schema and table name. The
+// structural kinds (dictionary, index) carry no column schema and are
+// never wrapped in a Table.
+func schemaFor(kind segKind) ([]colSpec, string) {
 	switch kind {
 	case kindRuns:
 		return runsSchema, "runs"
@@ -63,6 +65,8 @@ func schemaFor(kind uint32) ([]colSpec, string) {
 		return activationsSchema, "activations"
 	case kindSamples:
 		return samplesSchema, "samples"
+	case kindDict, kindIndex:
+		return nil, ""
 	}
 	return nil, ""
 }

@@ -41,10 +41,10 @@ const fieldBits = 16
 // RootsInto promises.
 func packKey(src heap.OID, f int) uint64 {
 	if uint64(f) >= 1<<fieldBits {
-		panic(fmt.Sprintf("remset: field %d overflows the packed entry key", f))
+		panic(fmt.Sprintf("remset: field %d overflows the packed entry key", f)) //odbgc:alloc-ok panic path
 	}
 	if uint64(src) >= 1<<(64-fieldBits) {
-		panic(fmt.Sprintf("remset: OID %d overflows the packed entry key", src))
+		panic(fmt.Sprintf("remset: OID %d overflows the packed entry key", src)) //odbgc:alloc-ok panic path
 	}
 	return uint64(src)<<fieldBits | uint64(f)
 }

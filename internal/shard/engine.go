@@ -190,6 +190,8 @@ func (e *Engine) ForeignRefs(i int, fn func(src heap.OID, field int, shard int, 
 // event of the trace into the sink it is handed (a ChunkStream.Replay
 // method value, a Buffer replay closure, ...) and return. Run consumes
 // the engine; it may be called once.
+//
+//odbgc:barrier
 func (e *Engine) Run(replay func(trace.Sink) error) (Result, error) {
 	if e.ran {
 		return Result{}, fmt.Errorf("shard: engine already ran")
@@ -206,6 +208,8 @@ func (e *Engine) Run(replay func(trace.Sink) error) (Result, error) {
 // (receiver, sender) order — the same per-receiver application order the
 // parallel barrier enforces, which is what makes the two modes
 // bit-identical.
+//
+//odbgc:barrier
 func (e *Engine) runSerial(replay func(trace.Sink) error) (Result, error) {
 	d := NewDemuxer(e.router, e.epochEvents, func(batches []*Batch, final bool) ([]*Batch, error) {
 		for i, r := range e.runners {
@@ -251,6 +255,8 @@ func (e *Engine) runSerial(replay func(trace.Sink) error) (Result, error) {
 // deltas flow shard → shard through bounded inboxes whose capacity 2N
 // suffices because a shard's own barrier keeps it within one epoch of
 // every peer.
+//
+//odbgc:barrier
 func (e *Engine) runParallel(replay func(trace.Sink) error) (Result, error) {
 	n := e.cfg.Shards
 	for _, r := range e.runners {
@@ -306,6 +312,8 @@ func (e *Engine) runParallel(replay func(trace.Sink) error) (Result, error) {
 // the same epoch (the barrier) and apply them in sender order. After an
 // error the shard keeps exchanging empty messages so its peers never
 // stall; the first error by shard order is reported by Run.
+//
+//odbgc:barrier
 func (r *shardRunner) loop() {
 	defer close(r.done)
 	for b := range r.batchCh {
@@ -335,6 +343,8 @@ func (r *shardRunner) loop() {
 // empty when the shard has nothing to say (the message itself is the
 // barrier token). Delta slices are cloned because the receiver reads
 // them after this shard has moved on.
+//
+//odbgc:barrier
 func (r *shardRunner) sendDeltas(epoch int64) {
 	for t, peer := range r.eng.runners {
 		if t == r.id {
@@ -355,6 +365,8 @@ func (r *shardRunner) sendDeltas(epoch int64) {
 // the fixed order that makes the result independent of arrival order.
 // After a shard error the messages are still consumed (the barrier must
 // hold) but not applied.
+//
+//odbgc:barrier
 func (r *shardRunner) exchange(epoch int64) error {
 	n := len(r.eng.runners)
 	for i := range r.perFrom {
@@ -470,7 +482,7 @@ func (r *shardRunner) drainBatch(b *Batch) error {
 // location holds nil locally) and the caller must feed to the trigger.
 func (r *shardRunner) foreignBarrier(src heap.OID, field int, fw *ForeignWrite) (bool, error) {
 	if field < 0 || field >= 1<<16 {
-		return false, fmt.Errorf("shard %d: write field %d outside the packed location range", r.id, field)
+		return false, fmt.Errorf("shard %d: write field %d outside the packed location range", r.id, field) //odbgc:alloc-ok malformed-trace error path
 	}
 	key := packLoc(uint32(src), field)
 	overwrote := false
@@ -495,7 +507,7 @@ func (r *shardRunner) foreignBarrier(src heap.OID, field int, fw *ForeignWrite) 
 
 // enqueue appends one delta to the epoch's outgoing buffer for a shard.
 func (r *shardRunner) enqueue(to int, d delta) {
-	r.out[to] = append(r.out[to], d)
+	r.out[to] = append(r.out[to], d) //odbgc:alloc-ok amortized delta-buffer growth, reused across epochs
 	r.deltasSent++
 }
 
@@ -503,6 +515,8 @@ func (r *shardRunner) enqueue(to int, d delta) {
 // counts. Counts never go negative: every remove retracts a previously
 // delivered add, because a location's add precedes its remove at the
 // sender and sender order is preserved end to end.
+//
+//odbgc:barrier
 func (r *shardRunner) applyDeltas(from int, ds []delta) error {
 	for _, d := range ds {
 		r.deltasRecv++

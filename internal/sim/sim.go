@@ -323,7 +323,7 @@ func (s *Sim) NoteForeignOverwrite() {
 	if n := s.mut.OverwritesSinceCollection(); n > s.lastOverwrite {
 		s.lastOverwrite = n
 		if s.trig.RecordOverwrite() {
-			s.collect(CauseOverwrite)
+			s.collect(CauseOverwrite) //odbgc:alloc-ok collection allocates amortized collector state, off the per-event fast path
 		}
 	}
 }
@@ -350,38 +350,38 @@ func (s *Sim) Emit(e trace.Event) error {
 	if s.finished {
 		return fmt.Errorf("sim: Emit after Finish") //odbgc:alloc-ok cold error path
 	}
-	if err := e.Validate(); err != nil {
+	if err := e.Validate(); err != nil { //odbgc:alloc-ok error path formats its report
 		return err
 	}
 	switch e.Kind {
 	case trace.KindCreate:
-		if err := s.mut.Alloc(e.OID, e.Size, e.NFields, e.Parent, e.ParentField); err != nil {
+		if err := s.mut.Alloc(e.OID, e.Size, e.NFields, e.Parent, e.ParentField); err != nil { //odbgc:alloc-ok error path formats its report
 			return err
 		}
 		s.trackStorage()
 		if s.trig.RecordAllocation(e.Size) {
-			s.collect(CauseAllocation)
+			s.collect(CauseAllocation) //odbgc:alloc-ok collection allocates amortized collector state, off the per-event fast path
 		}
 	case trace.KindRoot:
-		if err := s.mut.Root(e.OID); err != nil {
+		if err := s.mut.Root(e.OID); err != nil { //odbgc:alloc-ok error path formats its report
 			return err
 		}
 	case trace.KindRead:
-		if err := s.mut.Read(e.OID); err != nil {
+		if err := s.mut.Read(e.OID); err != nil { //odbgc:alloc-ok error path formats its report
 			return err
 		}
 	case trace.KindWrite:
-		if err := s.mut.Write(e.OID, e.Field, e.Target); err != nil {
+		if err := s.mut.Write(e.OID, e.Field, e.Target); err != nil { //odbgc:alloc-ok error path formats its report
 			return err
 		}
 		if n := s.mut.OverwritesSinceCollection(); n > s.lastOverwrite {
 			s.lastOverwrite = n
 			if s.trig.RecordOverwrite() {
-				s.collect(CauseOverwrite)
+				s.collect(CauseOverwrite) //odbgc:alloc-ok collection allocates amortized collector state, off the per-event fast path
 			}
 		}
 	case trace.KindModify:
-		if err := s.mut.Modify(e.OID); err != nil {
+		if err := s.mut.Modify(e.OID); err != nil { //odbgc:alloc-ok error path formats its report
 			return err
 		}
 	}
@@ -407,7 +407,7 @@ func (s *Sim) auditTick() error {
 	if !due {
 		return nil
 	}
-	return s.Audit()
+	return s.Audit() //odbgc:alloc-ok audit failure formats its report
 }
 
 // Audit runs the configured invariant check immediately, regardless of
@@ -505,7 +505,7 @@ func (s *Sim) sample() {
 	occupied := s.h.OccupiedBytes()
 	live := s.oracle.LiveBytes()
 	footprint := s.h.FootprintBytes()
-	s.series.Add(s.events,
+	s.series.Add(s.events, //odbgc:alloc-ok amortized series growth, off the replay fast path
 		float64(occupied)/1024,
 		float64(live)/1024,
 		float64(occupied-live)/1024,

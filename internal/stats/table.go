@@ -119,7 +119,7 @@ func NewSeries(xName string, names ...string) *Series {
 // Add appends one sample row. It panics if len(ys) != len(s.Names).
 func (s *Series) Add(x int64, ys ...float64) {
 	if len(ys) != len(s.Names) {
-		panic(fmt.Sprintf("stats: Series.Add got %d values, want %d", len(ys), len(s.Names)))
+		panic(fmt.Sprintf("stats: Series.Add got %d values, want %d", len(ys), len(s.Names))) //odbgc:alloc-ok panic path
 	}
 	s.X = append(s.X, x)
 	for i, y := range ys {

@@ -59,7 +59,7 @@ func (b *Buffer) ReplayHook(sink Sink, at int64, hook func()) error {
 	for pos := 0; pos < len(data); {
 		e, sz, err := decodeEvent(data[pos:])
 		if err != nil {
-			return fmt.Errorf("trace: buffer corrupt at event %d: %w", n, err)
+			return fmt.Errorf("trace: buffer corrupt at event %d: %w", n, err) //odbgc:alloc-ok corrupt-input error path
 		}
 		pos += sz
 		if err := sink.Emit(e); err != nil {

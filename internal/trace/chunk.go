@@ -105,10 +105,10 @@ func (w *ChunkWriter) start() error {
 //
 //odbgc:hotpath
 func (w *ChunkWriter) Emit(e Event) error {
-	if err := e.Validate(); err != nil {
+	if err := e.Validate(); err != nil { //odbgc:alloc-ok error path formats its report
 		return err
 	}
-	w.payload = appendEvent(w.payload, e)
+	w.payload = appendEvent(w.payload, e) //odbgc:alloc-ok amortized payload growth, reused across chunks
 	w.events++
 	w.total++
 	if len(w.payload) >= w.target {

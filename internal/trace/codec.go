@@ -77,7 +77,7 @@ func decodeEvent(data []byte) (Event, int, error) {
 	e := Event{Kind: Kind(data[0])}
 	pos := 1
 	bad := false
-	uv := func() uint64 {
+	uv := func() uint64 { //odbgc:alloc-ok non-escaping closure, stack-allocated
 		v, n := binary.Uvarint(data[pos:])
 		if n <= 0 {
 			bad = true
@@ -102,7 +102,7 @@ func decodeEvent(data []byte) (Event, int, error) {
 		e.Field = int(uv())
 		e.Target = heap.OID(uv())
 	default:
-		return Event{}, 0, fmt.Errorf("trace: unknown opcode %d", data[0])
+		return Event{}, 0, fmt.Errorf("trace: unknown opcode %d", data[0]) //odbgc:alloc-ok corrupt-input error path
 	}
 	if bad {
 		return Event{}, 0, io.ErrUnexpectedEOF
@@ -181,7 +181,7 @@ func (r *Reader) Next() (Event, error) {
 		return Event{}, err // io.EOF: clean end
 	}
 	e := Event{Kind: Kind(op)}
-	uv := func() uint64 {
+	uv := func() uint64 { //odbgc:alloc-ok non-escaping closure, stack-allocated
 		if err != nil {
 			return 0
 		}
